@@ -1,0 +1,31 @@
+//! Criterion micro-bench for the design-choice ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_topk::{Algorithm, DurableTopKEngine, LinearScorer};
+use durable_topk_bench::default_query;
+use durable_topk_workloads::{nba_attribute, nba_like};
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    let ds = nba_like(n, 42).project(&[nba_attribute("points"), nba_attribute("assists")]);
+    let scorer = LinearScorer::new(vec![0.5, 0.5]);
+    let q = default_query(n);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for leaf in [16usize, 128, 1024] {
+        let engine = DurableTopKEngine::with_leaf_size(ds.clone(), leaf);
+        g.bench_with_input(BenchmarkId::new("leaf_size_thop", leaf), &q, |b, q| {
+            b.iter(|| engine.query(Algorithm::THop, &scorer, q))
+        });
+    }
+    let engine = DurableTopKEngine::new(ds.clone());
+    for alg in [Algorithm::SHop, Algorithm::SHopTop1] {
+        g.bench_with_input(BenchmarkId::new("refill_mode", alg.name()), &q, |b, q| {
+            b.iter(|| engine.query(alg, &scorer, q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-bench for the top-k building block itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_topk::{LinearScorer, ScanOracle, SegTreeOracle, TopKOracle, Window};
+use durable_topk_workloads::ind;
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000u32;
+    let ds = ind(n as usize, 2, 42);
+    let seg = SegTreeOracle::build(&ds);
+    let scan = ScanOracle::new();
+    let scorer = LinearScorer::uniform(2);
+    let mut g = c.benchmark_group("topk_oracle");
+    g.sample_size(20);
+    for wlen in [1_000u32, 10_000, 100_000] {
+        let w = Window::new(n - wlen, n - 1);
+        g.bench_with_input(BenchmarkId::new("segtree", wlen), &w, |b, w| {
+            b.iter(|| seg.top_k(&ds, &scorer, 10, *w))
+        });
+        g.bench_with_input(BenchmarkId::new("scan", wlen), &w, |b, w| {
+            b.iter(|| scan.top_k(&ds, &scorer, 10, *w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-bench for the Table IV–VI family: stored procedures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use durable_topk::LinearScorer;
+use durable_topk_bench::default_query;
+use durable_topk_store::{t_base_proc, t_hop_proc, RelStore};
+use durable_topk_workloads::ind;
+
+fn bench(c: &mut Criterion) {
+    let n = 60_000;
+    let ds = ind(n, 2, 42);
+    let dir = std::env::temp_dir().join("durable-topk-bench");
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    let mut store = RelStore::create(dir.join("bench.db"), &ds, 128, 256).expect("create");
+    let scorer = LinearScorer::uniform(2);
+    let q = default_query(n);
+    let mut g = c.benchmark_group("store_procedures");
+    g.sample_size(10);
+    g.bench_function("t_hop_proc", |b| {
+        b.iter(|| t_hop_proc(&mut store, &scorer, q.k, q.interval, q.tau).expect("ok"))
+    });
+    g.bench_function("t_base_proc", |b| {
+        b.iter(|| t_base_proc(&mut store, &scorer, q.k, q.interval, q.tau).expect("ok"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Minimal argument parsing (std-only).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and `--flag
+/// value` / `--flag` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` options (last occurrence wins).
+    pub options: HashMap<String, String>,
+    /// Bare `--key` switches.
+    pub switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`-style input (program name excluded).
+    ///
+    /// A flag is a switch when the next token is absent or itself a flag.
+    pub fn parse<I: IntoIterator<Item = String>>(input: I) -> Args {
+        let tokens: Vec<String> = input.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                let next_is_value =
+                    i + 1 < tokens.len() && !tokens[i + 1].starts_with("--");
+                if next_is_value {
+                    args.options.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if args.command.is_empty() {
+                    args.command = tok.clone();
+                } else {
+                    args.positional.push(tok.clone());
+                }
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// A required option, or an error message naming it.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parses an option as `T`, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Parses `a:b` into an inclusive range.
+pub fn parse_range(s: &str) -> Result<(u32, u32), String> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| format!("range {s:?} must look like start:end"))?;
+    let a: u32 = a.parse().map_err(|_| format!("bad range start {a:?}"))?;
+    let b: u32 = b.parse().map_err(|_| format!("bad range end {b:?}"))?;
+    if a > b {
+        return Err(format!("inverted range {s:?}"));
+    }
+    Ok((a, b))
+}
+
+/// Parses `w1,w2,…` into a weight vector.
+pub fn parse_weights(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|w| w.trim().parse::<f64>().map_err(|_| format!("bad weight {w:?}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_options_and_switches() {
+        let a = parse("query data.csv --k 5 --durations --tau 100");
+        assert_eq!(a.command, "query");
+        assert_eq!(a.positional, vec!["data.csv"]);
+        assert_eq!(a.require("k").expect("k"), "5");
+        assert_eq!(a.parse_or::<u32>("tau", 1).expect("tau"), 100);
+        assert!(a.has("durations"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("stats file.csv");
+        assert_eq!(a.get_or("alg", "shop"), "shop");
+        assert_eq!(a.parse_or::<usize>("k", 10).expect("default"), 10);
+        assert!(a.require("k").is_err());
+    }
+
+    #[test]
+    fn ranges_and_weights() {
+        assert_eq!(parse_range("3:9").expect("range"), (3, 9));
+        assert!(parse_range("9:3").is_err());
+        assert!(parse_range("nope").is_err());
+        assert_eq!(parse_weights("0.5, 0.25,0.25").expect("weights"), vec![0.5, 0.25, 0.25]);
+        assert!(parse_weights("1,x").is_err());
+    }
+}

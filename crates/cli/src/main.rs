@@ -1,0 +1,200 @@
+//! `durable-topk` — command-line durable top-k queries over CSV data.
+//!
+//! ```text
+//! durable-topk generate ind --n 100000 --dim 2 --out data.csv
+//! durable-topk stats data.csv
+//! durable-topk topk data.csv --k 5 --window 1000:2000 --weights 0.7,0.3
+//! durable-topk query data.csv --k 10 --tau 5000 --interval 50000:99999 \
+//!               --weights 0.7,0.3 --alg shop --durations
+//! ```
+
+mod args;
+
+use args::{parse_range, parse_weights, Args};
+use durable_topk::{Algorithm, Anchor, DurableQuery, DurableTopKEngine, LinearScorer, Window};
+use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
+use durable_topk_workloads as workloads;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+durable-topk — durable top-k queries over instant-stamped CSV data
+
+USAGE:
+  durable-topk generate <ind|anti|nba|network> --n N [--dim D] [--seed S] --out FILE
+  durable-topk stats    FILE
+  durable-topk topk     FILE --k K --window A:B [--weights W1,W2,..]
+  durable-topk query    FILE --k K --tau T [--interval A:B] [--weights ..]
+                             [--alg tbase|thop|sbase|sband|shop] [--lookahead]
+                             [--durations] [--limit N]
+
+Records are rows in arrival order; an optional header row names columns and
+an optional leading `t` column holds wall-clock stamps. Weights default to
+uniform. `query` defaults to --alg shop over the whole history.";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_str() {
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "topk" => topk(&args),
+        "query" => query(&args),
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| "missing input file".to_string())?;
+    let imp = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(cols) = &imp.columns {
+        eprintln!("loaded {} records x {} attributes ({})", imp.dataset.len(), imp.dataset.dim(), cols.join(", "));
+    } else {
+        eprintln!("loaded {} records x {} attributes", imp.dataset.len(), imp.dataset.dim());
+    }
+    Ok(imp.dataset)
+}
+
+fn scorer_for(args: &Args, dim: usize) -> Result<LinearScorer, String> {
+    match args.options.get("weights") {
+        None => Ok(LinearScorer::uniform(dim)),
+        Some(w) => {
+            let weights = parse_weights(w)?;
+            if weights.len() != dim {
+                return Err(format!(
+                    "--weights has {} entries but the data has {dim} attributes",
+                    weights.len()
+                ));
+            }
+            Ok(LinearScorer::new(weights))
+        }
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let family = args
+        .positional
+        .first()
+        .ok_or_else(|| "generate needs a family: ind|anti|nba|network".to_string())?;
+    let n: usize = args.parse_or("n", 100_000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = args.require("out")?;
+    let (ds, header): (Dataset, Option<Vec<&str>>) = match family.as_str() {
+        "ind" => {
+            let dim: usize = args.parse_or("dim", 2)?;
+            (workloads::ind(n, dim, seed), None)
+        }
+        "anti" => (workloads::anti(n, seed), None),
+        "nba" => (
+            workloads::nba_like(n, seed),
+            Some(workloads::NBA_ATTRIBUTES.to_vec()),
+        ),
+        "network" => (workloads::network_like(n, seed), None),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    write_csv_file(out, &ds, header.as_deref()).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} records x {} attributes to {out}", ds.len(), ds.dim());
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    print!("{}", DatasetStats::compute(&ds));
+    Ok(())
+}
+
+fn topk(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let k: usize = args.parse_or("k", 10)?;
+    let (a, b) = parse_range(args.require("window")?)?;
+    let scorer = scorer_for(args, ds.dim())?;
+    let engine = DurableTopKEngine::new(ds);
+    let result = engine
+        .oracle()
+        .tree()
+        .top_k(engine.dataset(), &scorer, k, Window::new(a, b));
+    println!("top-{k} of [{a}, {b}] (ties of the k-th score included):");
+    for (id, score) in result.items {
+        println!("  t={id}  score={score:.6}  attrs={:?}", engine.dataset().row(id));
+    }
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let n = ds.len() as u32;
+    let k: usize = args.parse_or("k", 10)?;
+    let tau: u32 = args.parse_or("tau", (n / 10).max(1))?;
+    let interval = match args.options.get("interval") {
+        Some(r) => {
+            let (a, b) = parse_range(r)?;
+            Window::new(a, b.min(n - 1))
+        }
+        None => Window::new(0, n - 1),
+    };
+    let alg = match args.get_or("alg", "shop") {
+        "tbase" => Algorithm::TBase,
+        "thop" => Algorithm::THop,
+        "sbase" => Algorithm::SBase,
+        "sband" => Algorithm::SBand,
+        "shop" => Algorithm::SHop,
+        "shop1" => Algorithm::SHopTop1,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let scorer = scorer_for(args, ds.dim())?;
+    let limit: usize = args.parse_or("limit", 50)?;
+    let lookahead = args.has("lookahead");
+
+    let mut engine = DurableTopKEngine::new(ds);
+    if alg == Algorithm::SBand {
+        engine = engine.with_skyband_index(k);
+    }
+    if lookahead {
+        engine = engine.with_lookahead();
+    }
+    let q = DurableQuery { k, tau, interval };
+    let anchor = if lookahead { Anchor::LookAhead } else { Anchor::LookBack };
+    let started = std::time::Instant::now();
+    let result = engine.query_anchored(alg, &scorer, &q, anchor);
+    let elapsed = started.elapsed();
+
+    println!(
+        "{} durable records (k={k}, tau={tau}, I={interval}, {}) in {:.2?} — {} top-k queries",
+        result.records.len(),
+        if lookahead { "look-ahead" } else { "look-back" },
+        elapsed,
+        result.stats.topk_queries(),
+    );
+    for &id in result.records.iter().take(limit) {
+        if args.has("durations") {
+            let (dur, _) = engine.max_duration(&scorer, id, k);
+            println!(
+                "  t={id}  score={:.6}  max-duration={dur}  attrs={:?}",
+                durable_topk::Scorer::score(&scorer, engine.dataset().row(id)),
+                engine.dataset().row(id)
+            );
+        } else {
+            println!(
+                "  t={id}  score={:.6}  attrs={:?}",
+                durable_topk::Scorer::score(&scorer, engine.dataset().row(id)),
+                engine.dataset().row(id)
+            );
+        }
+    }
+    if result.records.len() > limit {
+        println!("  … {} more (raise --limit)", result.records.len() - limit);
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! The five durable top-k query algorithms.
+//!
+//! All algorithms answer the same query and return identical answer sets;
+//! they differ in how many building-block invocations they need:
+//!
+//! * time-prioritized: [`t_base`] (Section III-A), [`t_hop`] (III-B);
+//! * score-prioritized: [`s_base`] (IV-A), [`s_band`] (IV-B),
+//!   [`s_hop`] (IV-C).
+//!
+//! T-Hop and S-Hop both perform `O(|S| + k⌈|I|/τ⌉)` top-k queries
+//! (Lemmas 1 and 3); under the random permutation model the expected answer
+//! size is `k·|I|/(τ+1)` (Lemma 4), making their expected cost linear in the
+//! output.
+
+mod sband;
+mod sbase;
+mod shop;
+mod tbase;
+mod thop;
+
+pub use sband::s_band;
+pub use sbase::s_base;
+pub use shop::{s_hop, RefillMode};
+pub use tbase::t_base;
+pub use thop::t_hop;

@@ -1,0 +1,277 @@
+//! S-Hop: the score-prioritized hop algorithm (Section IV-C, Algorithm 3).
+//!
+//! Finds durable records in descending score order *without* sorting the
+//! whole interval: the query interval is partitioned into τ-length
+//! subintervals, each contributing its top-k set `M_j`; a max-heap over the
+//! exposed heads yields the globally next-highest unvisited record. A popped
+//! record `p` that lies in `k` blocking intervals is skipped (an *auxiliary*
+//! record — the hop in score space); otherwise one durability check decides
+//! membership, recruiting `π≤k` as blockers on failure, and `M_j` is split
+//! around `p.t` with two fresh top-k queries. Every popped record leaves a
+//! blocking interval behind.
+//!
+//! Lemma 3 bounds the top-k queries by `O(|S| + k⌈|I|/τ⌉)` — the same bound
+//! as T-Hop, but in practice S-Hop issues fewer durability checks because
+//! blocking prunes candidates before they are ever checked.
+
+use crate::oracle::TopKOracle;
+use crate::query::{DurableQuery, QueryResult, QueryStats};
+use durable_topk_index::{BlockingSet, OracleScorer};
+use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How S-Hop refills its per-subinterval candidate sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefillMode {
+    /// Algorithm 3 as written: full top-k sets per subinterval; a blocked
+    /// pop advances the set's cursor.
+    #[default]
+    TopK,
+    /// The paper's footnote-5 practical variant: top-1 sets; every pop
+    /// splits the subinterval. Cheaper per refill on most datasets.
+    Top1,
+}
+
+/// Total-order wrapper so scores can key the max-heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A per-subinterval candidate set `M_j`.
+struct MSet {
+    lo: Time,
+    hi: Time,
+    items: Vec<(RecordId, f64)>,
+    cursor: usize,
+    /// Whether `items` came from a full top-k query (vs a top-1 refill).
+    full: bool,
+}
+
+/// Runs S-Hop. See the module docs.
+///
+/// # Panics
+/// Panics on invalid query parameters (see [`DurableQuery::validate`]).
+pub fn s_hop<O: TopKOracle + ?Sized>(
+    ds: &Dataset,
+    oracle: &O,
+    scorer: &dyn OracleScorer,
+    query: &DurableQuery,
+    refill: RefillMode,
+) -> QueryResult {
+    let interval = query.validate(ds.len());
+    let (k, tau) = (query.k, query.tau);
+    let refill_k = match refill {
+        RefillMode::TopK => k,
+        RefillMode::Top1 => 1,
+    };
+    let mut stats = QueryStats::default();
+
+    let mut arena: Vec<MSet> = Vec::new();
+    // Max-heap of exposed heads: (score, younger-id-last for determinism,
+    // arena index).
+    let mut heap: BinaryHeap<(OrdF64, Reverse<RecordId>, usize)> = BinaryHeap::new();
+    let expose = |arena: &mut Vec<MSet>,
+                      heap: &mut BinaryHeap<(OrdF64, Reverse<RecordId>, usize)>,
+                      m: MSet| {
+        if m.cursor < m.items.len() {
+            let (id, s) = m.items[m.cursor];
+            let j = arena.len();
+            arena.push(m);
+            heap.push((OrdF64(s), Reverse(id), j));
+        }
+    };
+
+    for chunk in interval.chunks(tau) {
+        stats.refill_queries += 1;
+        let res = oracle.top_k(ds, scorer, refill_k, chunk);
+        expose(
+            &mut arena,
+            &mut heap,
+            MSet {
+                lo: chunk.start(),
+                hi: chunk.end(),
+                items: res.items,
+                cursor: 0,
+                full: refill == RefillMode::TopK,
+            },
+        );
+    }
+
+    let mut blocking = BlockingSet::new(ds.len(), tau);
+    let mut has_interval = vec![false; ds.len()];
+    let mut processed = vec![false; ds.len()];
+    let mut answers = Vec::new();
+
+    while let Some((OrdF64(score), Reverse(id), j)) = heap.pop() {
+        stats.candidates += 1;
+        // A record can resurface after a split re-queries part of its old
+        // subinterval (paper footnote 7); its blocking interval is already
+        // placed, so treat it like a blocked pop.
+        let already = processed[id as usize];
+        let blocked = already || blocking.coverage_above(id, score) >= k;
+        processed[id as usize] = true;
+
+        if !blocked {
+            stats.durability_checks += 1;
+            let pi = oracle.top_k(ds, scorer, k, Window::lookback(id, tau));
+            if pi.admits_score(score) {
+                answers.push(id);
+            } else {
+                for &(q, qs) in &pi.items {
+                    if !has_interval[q as usize] {
+                        has_interval[q as usize] = true;
+                        blocking.insert(q, qs);
+                    }
+                }
+            }
+            // Split M_j around id and expose the halves (the paper's text
+            // applies the split to every unblocked pop).
+            let (lo, hi) = (arena[j].lo, arena[j].hi);
+            if lo < id {
+                stats.refill_queries += 1;
+                let res = oracle.top_k(ds, scorer, refill_k, Window::new(lo, id - 1));
+                expose(
+                    &mut arena,
+                    &mut heap,
+                    MSet {
+                        lo,
+                        hi: id - 1,
+                        items: res.items,
+                        cursor: 0,
+                        full: refill == RefillMode::TopK,
+                    },
+                );
+            }
+            if id < hi {
+                stats.refill_queries += 1;
+                let res = oracle.top_k(ds, scorer, refill_k, Window::new(id + 1, hi));
+                expose(
+                    &mut arena,
+                    &mut heap,
+                    MSet {
+                        lo: id + 1,
+                        hi,
+                        items: res.items,
+                        cursor: 0,
+                        full: refill == RefillMode::TopK,
+                    },
+                );
+            }
+        } else {
+            if !already {
+                stats.blocked_skips += 1;
+            }
+            // Blocked (auxiliary) pop: expose M_j's next-best record. A
+            // top-1 set is first upgraded to the full top-k list; the
+            // deterministic (score desc, id asc) order makes the upgraded
+            // list a superset that begins with the already-popped prefix, so
+            // the cursor carries over. Once the full list is exhausted the
+            // subinterval is dropped — at that point at least k blocked
+            // records left blocking intervals over it (Lemma 6).
+            let m = &mut arena[j];
+            if !m.full && m.cursor + 1 >= m.items.len() {
+                stats.refill_queries += 1;
+                let res = oracle.top_k(ds, scorer, k, Window::new(m.lo, m.hi));
+                let popped = m.cursor + 1;
+                m.items = res.items;
+                m.cursor = popped - 1;
+                m.full = true;
+            }
+            m.cursor += 1;
+            if m.cursor < m.items.len() {
+                let (nid, ns) = m.items[m.cursor];
+                heap.push((OrdF64(ns), Reverse(nid), j));
+            }
+        }
+
+        if !has_interval[id as usize] {
+            has_interval[id as usize] = true;
+            blocking.insert(id, score);
+        }
+    }
+
+    QueryResult::new(answers, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+    use durable_topk_temporal::{Dataset, SingleAttributeScorer};
+
+    #[test]
+    fn refill_modes_agree_on_answers() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let n = rng.random_range(10..300);
+            let rows: Vec<[f64; 1]> =
+                (0..n).map(|_| [rng.random_range(0..12) as f64]).collect();
+            let ds = Dataset::from_rows(1, rows);
+            let oracle = ScanOracle::new();
+            let scorer = SingleAttributeScorer::new(0);
+            let q = DurableQuery {
+                k: rng.random_range(1..5),
+                tau: rng.random_range(1..n as u32 + 1),
+                interval: Window::new(0, (n - 1) as u32),
+            };
+            let a = s_hop(&ds, &oracle, &scorer, &q, RefillMode::TopK);
+            let b = s_hop(&ds, &oracle, &scorer, &q, RefillMode::Top1);
+            assert_eq!(a.records, b.records, "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn blocking_prunes_on_skewed_data() {
+        // A few giants early in each chunk block the rest: S-Hop's
+        // durability checks should be close to |S| + k per chunk, far below
+        // the chunk populations.
+        let rows: Vec<[f64; 1]> = (0..400)
+            .map(|i| if i % 100 == 0 { [1000.0 + i as f64] } else { [(i % 7) as f64] })
+            .collect();
+        let ds = Dataset::from_rows(1, rows);
+        let oracle = ScanOracle::new();
+        let scorer = SingleAttributeScorer::new(0);
+        let q = DurableQuery { k: 2, tau: 100, interval: Window::new(0, 399) };
+        let r = s_hop(&ds, &oracle, &scorer, &q, RefillMode::TopK);
+        assert!(
+            r.stats.durability_checks <= (r.records.len() + 4 * 2 + 4) as u64,
+            "checks {} vs |S|={}",
+            r.stats.durability_checks,
+            r.records.len()
+        );
+    }
+
+    #[test]
+    fn every_pop_is_counted_once_as_candidate() {
+        let ds = Dataset::from_rows(1, (0..60).map(|i| [((i * 17) % 13) as f64]));
+        let oracle = ScanOracle::new();
+        let scorer = SingleAttributeScorer::new(0);
+        let q = DurableQuery { k: 2, tau: 15, interval: Window::new(0, 59) };
+        let r = s_hop(&ds, &oracle, &scorer, &q, RefillMode::TopK);
+        // candidates = total pops >= durability checks + blocked skips.
+        assert!(r.stats.candidates >= r.stats.durability_checks + r.stats.blocked_skips);
+    }
+
+    #[test]
+    fn single_chunk_when_tau_exceeds_interval() {
+        let ds = Dataset::from_rows(1, (0..40).map(|i| [((i * 3) % 11) as f64]));
+        let oracle = ScanOracle::new();
+        let scorer = SingleAttributeScorer::new(0);
+        let q = DurableQuery { k: 1, tau: 500, interval: Window::new(10, 39) };
+        let r = s_hop(&ds, &oracle, &scorer, &q, RefillMode::TopK);
+        let reference = crate::algorithms::t_base(&ds, &oracle, &scorer, &q);
+        assert_eq!(r.records, reference.records);
+    }
+}

@@ -1,0 +1,117 @@
+//! Parallel batch query evaluation.
+//!
+//! The paper's evaluation runs every measurement over 100 random preference
+//! vectors, and the motivating applications ("users may explore parameter
+//! settings at run-time, interactively or automatically") issue many queries
+//! against one index. All indexes here are read-only after construction and
+//! instrumented with atomic counters, so a single engine serves concurrent
+//! queries; this module fans a batch out over scoped threads.
+
+use crate::engine::{Algorithm, DurableTopKEngine};
+use crate::query::{DurableQuery, QueryResult};
+use durable_topk_index::OracleScorer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs the same `DurTop(k, I, τ)` under many scorers in parallel, returning
+/// results in input order.
+///
+/// `threads = 0` uses the available parallelism. The engine is shared
+/// read-only; per-query instrumentation lands in each result's stats while
+/// the engine's cumulative oracle counters aggregate across the batch.
+///
+/// # Panics
+/// Propagates panics from worker threads (invalid queries, missing S-Band
+/// index, …).
+pub fn batch_query<S: OracleScorer + Sync>(
+    engine: &DurableTopKEngine,
+    alg: Algorithm,
+    scorers: &[S],
+    query: &DurableQuery,
+    threads: usize,
+) -> Vec<QueryResult> {
+    if scorers.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(scorers.len());
+
+    if threads == 1 {
+        return scorers.iter().map(|s| engine.query(alg, s, query)).collect();
+    }
+
+    let mut results: Vec<Option<QueryResult>> = (0..scorers.len()).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<QueryResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= scorers.len() {
+                    break;
+                }
+                let r = engine.query(alg, &scorers[i], query);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by the work loop"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::{Dataset, LinearScorer, Window};
+
+    fn engine(n: usize) -> DurableTopKEngine {
+        let rows: Vec<[f64; 2]> = (0..n)
+            .map(|i| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64])
+            .collect();
+        DurableTopKEngine::new(Dataset::from_rows(2, rows)).with_skyband_index(8)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let engine = engine(3_000);
+        let scorers: Vec<LinearScorer> = (1..=8)
+            .map(|i| LinearScorer::new(vec![i as f64, (9 - i) as f64]))
+            .collect();
+        let q = DurableQuery { k: 4, tau: 500, interval: Window::new(1_000, 2_999) };
+        for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::SBand] {
+            let seq = batch_query(&engine, alg, &scorers, &q, 1);
+            let par = batch_query(&engine, alg, &scorers, &q, 4);
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.records, p.records, "alg={alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let engine = engine(100);
+        let q = DurableQuery { k: 1, tau: 10, interval: Window::new(0, 99) };
+        let out = batch_query::<LinearScorer>(&engine, Algorithm::THop, &[], &q, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oracle_counters_aggregate_across_threads() {
+        let engine = engine(2_000);
+        engine.reset_counters();
+        let scorers: Vec<LinearScorer> =
+            (1..=6).map(|i| LinearScorer::new(vec![1.0, i as f64])).collect();
+        let q = DurableQuery { k: 3, tau: 300, interval: Window::new(500, 1_999) };
+        let results = batch_query(&engine, Algorithm::THop, &scorers, &q, 3);
+        let expected: u64 = results.iter().map(|r| r.stats.topk_queries()).sum();
+        assert_eq!(engine.oracle_queries(), expected);
+    }
+}

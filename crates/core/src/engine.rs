@@ -1,0 +1,342 @@
+//! High-level query engine tying the dataset, indexes and algorithms
+//! together.
+
+use crate::algorithms::{s_band, s_base, s_hop, t_base, t_hop, RefillMode};
+use crate::duration::max_duration;
+use crate::oracle::{SegTreeOracle, TopKOracle};
+use crate::query::{DurableQuery, QueryResult};
+use durable_topk_index::{DurableSkybandIndex, OracleScorer};
+use durable_topk_temporal::{Anchor, Dataset, RecordId, Time, Window};
+
+/// Which durable top-k algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Time-prioritized baseline (Section III-A).
+    TBase,
+    /// Time-prioritized hop algorithm (Section III-B).
+    THop,
+    /// Score-prioritized sorting baseline (Section IV-A).
+    SBase,
+    /// Durable k-skyband candidates (Section IV-B); monotone scorers only,
+    /// requires [`DurableTopKEngine::with_skyband_index`].
+    SBand,
+    /// Score-prioritized hop algorithm (Section IV-C).
+    SHop,
+    /// S-Hop with the footnote-5 top-1 refill variant.
+    SHopTop1,
+}
+
+impl Algorithm {
+    /// All algorithm variants (handy for agreement tests and sweeps).
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::TBase,
+        Algorithm::THop,
+        Algorithm::SBase,
+        Algorithm::SBand,
+        Algorithm::SHop,
+        Algorithm::SHopTop1,
+    ];
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::TBase => "T-Base",
+            Algorithm::THop => "T-Hop",
+            Algorithm::SBase => "S-Base",
+            Algorithm::SBand => "S-Band",
+            Algorithm::SHop => "S-Hop",
+            Algorithm::SHopTop1 => "S-Hop/1",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A ready-to-query durable top-k engine over one dataset.
+///
+/// Owns the dataset, the segment-tree top-k oracle, and optionally the
+/// durable k-skyband index (for S-Band) and a reversed twin (for look-ahead
+/// durability).
+#[derive(Debug)]
+pub struct DurableTopKEngine {
+    ds: Dataset,
+    oracle: SegTreeOracle,
+    skyband: Option<DurableSkybandIndex>,
+    /// Reversed dataset + oracle, built on demand for look-ahead queries.
+    reversed: Option<Box<DurableTopKEngine>>,
+}
+
+impl DurableTopKEngine {
+    /// Builds the engine (segment-tree oracle included) over a dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn new(ds: Dataset) -> Self {
+        let oracle = SegTreeOracle::build(&ds);
+        Self { ds, oracle, skyband: None, reversed: None }
+    }
+
+    /// Builds the engine with a custom oracle leaf size (ablations).
+    pub fn with_leaf_size(ds: Dataset, leaf_size: usize) -> Self {
+        let oracle = SegTreeOracle::with_leaf_size(&ds, leaf_size);
+        Self { ds, oracle, skyband: None, reversed: None }
+    }
+
+    /// Adds the durable k-skyband index serving queries with `k <= k_max`
+    /// (rounded up to a power of two), enabling [`Algorithm::SBand`].
+    pub fn with_skyband_index(mut self, k_max: usize) -> Self {
+        self.skyband = Some(DurableSkybandIndex::build(&self.ds, k_max));
+        self
+    }
+
+    /// Pre-builds the reversed twin enabling
+    /// [`Anchor::LookAhead`] queries via
+    /// [`query_anchored`](DurableTopKEngine::query_anchored).
+    pub fn with_lookahead(mut self) -> Self {
+        let mut rev = DurableTopKEngine::new(self.ds.reversed());
+        if let Some(sb) = &self.skyband {
+            rev = rev.with_skyband_index(sb.max_k());
+        }
+        self.reversed = Some(Box::new(rev));
+        self
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// The top-k oracle (for direct `Q(u, k, W)` queries).
+    pub fn oracle(&self) -> &SegTreeOracle {
+        &self.oracle
+    }
+
+    /// The skyband index, if built.
+    pub fn skyband_index(&self) -> Option<&DurableSkybandIndex> {
+        self.skyband.as_ref()
+    }
+
+    /// Answers `DurTop(k, I, τ)` with look-back durability windows.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; for [`Algorithm::SBand`] additionally
+    /// if the skyband index was not built or the scorer is not monotone.
+    pub fn query(
+        &self,
+        alg: Algorithm,
+        scorer: &dyn OracleScorer,
+        query: &DurableQuery,
+    ) -> QueryResult {
+        match alg {
+            Algorithm::TBase => t_base(&self.ds, &self.oracle, scorer, query),
+            Algorithm::THop => t_hop(&self.ds, &self.oracle, scorer, query),
+            Algorithm::SBase => s_base(&self.ds, scorer, query),
+            Algorithm::SBand => {
+                let idx = self
+                    .skyband
+                    .as_ref()
+                    .expect("S-Band requires with_skyband_index(..) at engine build time");
+                s_band(&self.ds, &self.oracle, idx, scorer, query)
+            }
+            Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK),
+            Algorithm::SHopTop1 => {
+                s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1)
+            }
+        }
+    }
+
+    /// Answers `DurTop(k, I, τ)` under either window anchoring.
+    ///
+    /// Look-ahead durability runs the unmodified look-back algorithms on the
+    /// reversed dataset (`p` is τ-durable looking ahead iff its mirror image
+    /// is τ-durable looking back) and maps the ids home.
+    ///
+    /// # Panics
+    /// As [`query`](DurableTopKEngine::query); for look-ahead additionally
+    /// if [`with_lookahead`](DurableTopKEngine::with_lookahead) was not
+    /// called.
+    pub fn query_anchored(
+        &self,
+        alg: Algorithm,
+        scorer: &dyn OracleScorer,
+        query: &DurableQuery,
+        anchor: Anchor,
+    ) -> QueryResult {
+        match anchor {
+            Anchor::LookBack => self.query(alg, scorer, query),
+            Anchor::LookAhead => {
+                let rev = self
+                    .reversed
+                    .as_ref()
+                    .expect("look-ahead queries require with_lookahead() at engine build time");
+                let n = self.ds.len() as Time;
+                let interval = query.interval.clamp_to(self.ds.len());
+                let mirrored = DurableQuery {
+                    k: query.k,
+                    tau: query.tau,
+                    interval: Window::new(n - 1 - interval.end(), n - 1 - interval.start()),
+                };
+                let mut result = rev.query(alg, scorer, &mirrored);
+                for id in &mut result.records {
+                    *id = n - 1 - *id;
+                }
+                result.records.sort_unstable();
+                result
+            }
+        }
+    }
+
+    /// The longest duration for which record `p` stays in the top-k
+    /// (look-back), plus the number of top-k probes used.
+    pub fn max_duration(
+        &self,
+        scorer: &dyn OracleScorer,
+        p: RecordId,
+        k: usize,
+    ) -> (Time, u64) {
+        max_duration(&self.ds, &self.oracle, scorer, p, k)
+    }
+
+    /// Cumulative top-k queries issued by the engine's oracle.
+    pub fn oracle_queries(&self) -> u64 {
+        self.oracle.queries_issued()
+    }
+
+    /// Resets oracle instrumentation.
+    pub fn reset_counters(&self) {
+        self.oracle.reset_counters();
+        if let Some(rev) = &self.reversed {
+            rev.reset_counters();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::{LinearScorer, SingleAttributeScorer};
+    use rand::prelude::*;
+
+    fn random_engine(rng: &mut StdRng, n: usize, vals: u32) -> DurableTopKEngine {
+        let rows: Vec<[f64; 2]> = (0..n)
+            .map(|_| [rng.random_range(0..vals) as f64, rng.random_range(0..vals) as f64])
+            .collect();
+        DurableTopKEngine::new(Dataset::from_rows(2, rows))
+            .with_skyband_index(8)
+            .with_lookahead()
+    }
+
+    /// Reference implementation: definition-level durability test.
+    fn brute_durable(
+        ds: &Dataset,
+        scorer: &dyn crate::Scorer,
+        q: &DurableQuery,
+        anchor: Anchor,
+    ) -> Vec<RecordId> {
+        let interval = q.interval.clamp_to(ds.len());
+        interval
+            .iter()
+            .filter(|&t| {
+                let w = anchor.window(t, q.tau).clamp_to(ds.len());
+                let my = scorer.score(ds.row(t));
+                let better = w
+                    .iter()
+                    .filter(|&u| scorer.score(ds.row(u)) > my)
+                    .count();
+                better < q.k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_definition() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for trial in 0..12 {
+            let n = rng.random_range(5..120);
+            // Small value range: plenty of score ties to stress tie paths.
+            let engine = random_engine(&mut rng, n, 6);
+            let scorer = LinearScorer::new(vec![rng.random::<f64>() + 0.1, 1.0]);
+            for _ in 0..4 {
+                let a = rng.random_range(0..n as Time);
+                let b = rng.random_range(0..n as Time);
+                let q = DurableQuery {
+                    k: rng.random_range(1..6),
+                    tau: rng.random_range(1..(n as Time + 4)),
+                    interval: Window::new(a.min(b), a.max(b)),
+                };
+                let expected = brute_durable(engine.dataset(), &scorer, &q, Anchor::LookBack);
+                for alg in Algorithm::ALL {
+                    let got = engine.query(alg, &scorer, &q);
+                    assert_eq!(
+                        got.records, expected,
+                        "trial={trial} alg={alg} q={q:?} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(202);
+        for _ in 0..8 {
+            let n = rng.random_range(5..80);
+            let engine = random_engine(&mut rng, n, 8);
+            let scorer = SingleAttributeScorer::new(0);
+            let a = rng.random_range(0..n as Time);
+            let b = rng.random_range(0..n as Time);
+            let q = DurableQuery {
+                k: rng.random_range(1..4),
+                tau: rng.random_range(1..(n as Time)),
+                interval: Window::new(a.min(b), a.max(b)),
+            };
+            let expected = brute_durable(engine.dataset(), &scorer, &q, Anchor::LookAhead);
+            for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::TBase] {
+                let got = engine.query_anchored(alg, &scorer, &q, Anchor::LookAhead);
+                assert_eq!(got.records, expected, "alg={alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn hop_algorithms_issue_fewer_checks_than_tbase_visits() {
+        let mut rng = StdRng::seed_from_u64(303);
+        let engine = random_engine(&mut rng, 2000, 1000);
+        let scorer = LinearScorer::new(vec![0.5, 0.5]);
+        let q = DurableQuery { k: 5, tau: 400, interval: Window::new(0, 1999) };
+        let tb = engine.query(Algorithm::TBase, &scorer, &q);
+        let th = engine.query(Algorithm::THop, &scorer, &q);
+        let sh = engine.query(Algorithm::SHop, &scorer, &q);
+        assert_eq!(tb.records, th.records);
+        // T-Base touches every record; T-Hop's durability checks are far
+        // fewer on a selective query.
+        assert!(th.stats.durability_checks < tb.stats.candidates / 2);
+        assert!(sh.stats.durability_checks <= th.stats.durability_checks * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_skyband_index")]
+    fn sband_without_index_panics() {
+        let ds = Dataset::from_rows(2, [[1.0, 1.0], [2.0, 2.0]]);
+        let engine = DurableTopKEngine::new(ds);
+        let scorer = LinearScorer::uniform(2);
+        let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 1) };
+        engine.query(Algorithm::SBand, &scorer, &q);
+    }
+
+    #[test]
+    fn max_duration_via_engine() {
+        let ds = Dataset::from_rows(1, (0..50).map(|i| [(i % 7) as f64]));
+        let engine = DurableTopKEngine::new(ds);
+        let scorer = SingleAttributeScorer::new(0);
+        // Record 6 has value 6, the maximum; nothing beats it until the next
+        // 6 (record 13)... looking back, it is durable for all of history.
+        let (d, probes) = engine.max_duration(&scorer, 6, 1);
+        assert_eq!(d, 50);
+        assert!(probes >= 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Durable top-k queries over instant-stamped temporal records.
+//!
+//! This crate is the primary contribution of *"Durable Top-K Instant-Stamped
+//! Temporal Records with User-Specified Scoring Functions"* (ICDE 2021):
+//! given a dataset `P` of records ordered by arrival time, a query-time
+//! scoring function `f_u`, a rank threshold `k`, a durability `τ` and a
+//! query interval `I`, the query `DurTop(k, I, τ)` returns every record
+//! `p ∈ P(I)` whose score is beaten by fewer than `k` records within the
+//! durability window anchored at `p.t`.
+//!
+//! Five algorithms are provided, exactly mirroring the paper:
+//!
+//! | Algorithm | Section | Strategy |
+//! |---|---|---|
+//! | [`t_base`](algorithms::t_base) | III-A | backward sliding window with incremental top-k maintenance |
+//! | [`t_hop`](algorithms::t_hop) | III-B | time-prioritized with hops over provably non-durable stretches |
+//! | [`s_base`](algorithms::s_base) | IV-A | full sort + blocking intervals (no oracle calls) |
+//! | [`s_band`](algorithms::s_band) | IV-B | durable k-skyband candidates + blocking (monotone `f` only) |
+//! | [`s_hop`](algorithms::s_hop) | IV-C | score-prioritized heap over τ-subinterval top-k sets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use durable_topk::{Algorithm, DurableQuery, DurableTopKEngine};
+//! use durable_topk_temporal::{Dataset, LinearScorer, Window};
+//!
+//! // Ten records, two attributes, arriving in order.
+//! let ds = Dataset::from_rows(2, (0..10).map(|i| {
+//!     let x = ((i * 37) % 11) as f64;
+//!     [x, 10.0 - x]
+//! }));
+//! let engine = DurableTopKEngine::new(ds);
+//! let query = DurableQuery { k: 2, tau: 4, interval: Window::new(0, 9) };
+//! let scorer = LinearScorer::new(vec![0.8, 0.2]);
+//! let result = engine.query(Algorithm::SHop, &scorer, &query);
+//! // Every algorithm returns the same answer set.
+//! let check = engine.query(Algorithm::TBase, &scorer, &query);
+//! assert_eq!(result.records, check.records);
+//! ```
+
+pub mod algorithms;
+pub mod alternatives;
+pub mod batch;
+pub mod duration;
+pub mod engine;
+pub mod oracle;
+pub mod query;
+pub mod streaming;
+
+pub use batch::batch_query;
+pub use engine::{Algorithm, DurableTopKEngine};
+pub use oracle::{ScanOracle, SegTreeOracle, TopKOracle};
+pub use query::{DurableQuery, QueryResult, QueryStats};
+pub use streaming::StreamingMonitor;
+
+// Re-export the vocabulary types callers need.
+pub use durable_topk_index::{OracleScorer, TopKResult};
+pub use durable_topk_temporal::{
+    Anchor, CosineScorer, Dataset, LinearScorer, MonotoneCombinationScorer, MonotoneTransform,
+    RecordId, Scorer, SingleAttributeScorer, Time, Window,
+};

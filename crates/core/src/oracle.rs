@@ -1,0 +1,137 @@
+//! The top-k "building block" abstraction.
+//!
+//! The paper's algorithms treat the top-k query `Q(u, k, W)` as a black box:
+//! *"the novelty and major contribution of our algorithms come from [their]
+//! ability to reduce and bound the number of invocations of the building
+//! block, totally independent of how the building block operates itself."*
+//! [`TopKOracle`] is that black box; the durable top-k algorithms are
+//! generic over it.
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`SegTreeOracle`] — the skyline segment tree of Appendix A (the
+//!   production path).
+//! * [`ScanOracle`] — a linear scan of the window (the correctness
+//!   reference, and the fallback when no index has been built).
+
+use durable_topk_index::{scan_top_k, OracleScorer, SkylineSegTree, TopKResult};
+use durable_topk_temporal::{Dataset, Window};
+use std::cell::Cell;
+
+/// A building block answering preference top-k queries over time windows.
+pub trait TopKOracle {
+    /// Answers `Q(u, k, W)`: the top-k records (with ties of the k-th score)
+    /// among records arriving in `w`, best first.
+    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window)
+        -> TopKResult;
+
+    /// Number of top-k queries issued since construction or the last
+    /// [`reset_counters`](TopKOracle::reset_counters) — the metric every
+    /// figure in the paper's evaluation reports.
+    fn queries_issued(&self) -> u64;
+
+    /// Resets instrumentation.
+    fn reset_counters(&self);
+}
+
+/// Oracle backed by the skyline segment tree (paper Appendix A).
+#[derive(Debug, Clone)]
+pub struct SegTreeOracle {
+    tree: SkylineSegTree,
+}
+
+impl SegTreeOracle {
+    /// Builds the index over the dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn build(ds: &Dataset) -> Self {
+        Self { tree: SkylineSegTree::build(ds) }
+    }
+
+    /// Builds with an explicit leaf granularity (ablation experiments).
+    pub fn with_leaf_size(ds: &Dataset, leaf_size: usize) -> Self {
+        Self { tree: SkylineSegTree::with_leaf_size(ds, leaf_size) }
+    }
+
+    /// Access to the underlying tree (extra instrumentation).
+    pub fn tree(&self) -> &SkylineSegTree {
+        &self.tree
+    }
+}
+
+impl TopKOracle for SegTreeOracle {
+    fn top_k(
+        &self,
+        ds: &Dataset,
+        scorer: &dyn OracleScorer,
+        k: usize,
+        w: Window,
+    ) -> TopKResult {
+        self.tree.top_k(ds, scorer, k, w)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.tree.counters().queries()
+    }
+
+    fn reset_counters(&self) {
+        self.tree.counters().reset();
+    }
+}
+
+/// Naive oracle scanning every record in the window.
+#[derive(Debug, Default)]
+pub struct ScanOracle {
+    queries: Cell<u64>,
+}
+
+impl ScanOracle {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TopKOracle for ScanOracle {
+    fn top_k(
+        &self,
+        ds: &Dataset,
+        scorer: &dyn OracleScorer,
+        k: usize,
+        w: Window,
+    ) -> TopKResult {
+        self.queries.set(self.queries.get() + 1);
+        scan_top_k(ds, scorer, k, w)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.queries.get()
+    }
+
+    fn reset_counters(&self) {
+        self.queries.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::LinearScorer;
+
+    #[test]
+    fn oracles_agree_and_count() {
+        let ds = Dataset::from_rows(2, [[1.0, 0.0], [3.0, 1.0], [2.0, 5.0], [0.0, 0.0]]);
+        let scorer = LinearScorer::new(vec![1.0, 1.0]);
+        let seg = SegTreeOracle::build(&ds);
+        let scan = ScanOracle::new();
+        let w = Window::new(0, 3);
+        assert_eq!(seg.top_k(&ds, &scorer, 2, w), scan.top_k(&ds, &scorer, 2, w));
+        assert_eq!(seg.queries_issued(), 1);
+        assert_eq!(scan.queries_issued(), 1);
+        seg.reset_counters();
+        scan.reset_counters();
+        assert_eq!(seg.queries_issued(), 0);
+        assert_eq!(scan.queries_issued(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Query parameters, results and instrumentation.
+
+use durable_topk_temporal::{RecordId, Time, Window};
+
+/// Parameters of a durable top-k query `DurTop(k, I, τ)`.
+///
+/// All three are query-time parameters, together with the scoring function's
+/// preference vector — none is baked into any index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableQuery {
+    /// Rank threshold: a record must be within the top-k of its durability
+    /// window.
+    pub k: usize,
+    /// Durability window length τ (in discrete arrival instants).
+    pub tau: Time,
+    /// Query interval `I`: only records arriving in `I` are reported.
+    pub interval: Window,
+}
+
+impl DurableQuery {
+    /// Validates the parameters against a dataset of `n` records.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `tau == 0`, or the interval lies outside the
+    /// dataset.
+    pub fn validate(&self, n: usize) -> Window {
+        assert!(self.k > 0, "k must be positive");
+        assert!(self.tau > 0, "tau must be positive");
+        assert!(n > 0, "dataset is empty");
+        assert!(
+            (self.interval.start() as usize) < n,
+            "query interval {} starts past the last record {}",
+            self.interval,
+            n - 1
+        );
+        self.interval.clamp_to(n)
+    }
+}
+
+/// Instrumentation of one query execution — the quantities the paper's
+/// figures report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Top-k queries issued for durability checks.
+    pub durability_checks: u64,
+    /// Top-k queries issued to find the next highest-score record (S-Hop's
+    /// shaded bars in Fig. 8) or the initial window (T-Base).
+    pub refill_queries: u64,
+    /// Candidate records considered (|C| for S-Band, sorted records for
+    /// S-Base, visited records otherwise).
+    pub candidates: u64,
+    /// Candidates skipped purely by the blocking mechanism.
+    pub blocked_skips: u64,
+}
+
+impl QueryStats {
+    /// Total top-k building-block invocations.
+    pub fn topk_queries(&self) -> u64 {
+        self.durability_checks + self.refill_queries
+    }
+}
+
+/// The answer to a durable top-k query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// τ-durable records arriving in `I`, in increasing arrival order.
+    pub records: Vec<RecordId>,
+    /// Execution instrumentation.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    pub(crate) fn new(mut records: Vec<RecordId>, stats: QueryStats) -> Self {
+        records.sort_unstable();
+        records.dedup();
+        Self { records, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_clamps_interval() {
+        let q = DurableQuery { k: 1, tau: 5, interval: Window::new(2, 100) };
+        assert_eq!(q.validate(10), Window::new(2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn validate_rejects_zero_k() {
+        DurableQuery { k: 0, tau: 1, interval: Window::new(0, 1) }.validate(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn validate_rejects_zero_tau() {
+        DurableQuery { k: 1, tau: 0, interval: Window::new(0, 1) }.validate(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts past")]
+    fn validate_rejects_out_of_range_interval() {
+        DurableQuery { k: 1, tau: 1, interval: Window::new(7, 9) }.validate(5);
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = QueryStats { durability_checks: 3, refill_queries: 4, ..Default::default() };
+        assert_eq!(s.topk_queries(), 7);
+    }
+
+    #[test]
+    fn result_sorts_records() {
+        let r = QueryResult::new(vec![5, 1, 3], QueryStats::default());
+        assert_eq!(r.records, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Computational-geometry substrates for durable top-k queries.
+//!
+//! The paper's S-Band algorithm (Section IV-B) and its analysis (Section V-B)
+//! rest on classical multidimensional maxima machinery. This crate implements
+//! those substrates from scratch:
+//!
+//! * [`dominance`] — Pareto-dominance tests with early exit.
+//! * [`skyline`] — skyline (maxima) computation: a sort-sweep algorithm for
+//!   d = 2 and a sort-filter algorithm for general d, plus skyline merging
+//!   used by the segment-tree index.
+//! * [`skyband`] — k-skyband computation and the per-record *durable
+//!   k-skyband duration* `τ_p` (the longest look-back window in which a
+//!   record stays in the k-skyband), the quantity indexed by S-Band.
+//! * [`domcount`] — offline past-dominator counting: an `O(n log² n)`
+//!   CDQ divide-and-conquer with a Fenwick sweep for d = 2, and a blocked
+//!   early-exit scan for general d.
+//! * [`pst`] — a static priority search tree answering the 3-sided range
+//!   queries `I × [τ, +∞)` of the durable k-skyband index (paper Fig. 4).
+
+pub mod domcount;
+pub mod dominance;
+pub mod pst;
+pub mod skyband;
+pub mod skyline;
+
+pub use domcount::{past_dominator_counts, Fenwick};
+pub use dominance::{dominates, weakly_dominates};
+pub use pst::{PrioritySearchTree, PstPoint};
+pub use skyband::{k_skyband, skyband_durations, skyband_durations_multi, DURATION_UNBOUNDED};
+pub use skyline::{skyline_indices, skyline_merge};

@@ -1,0 +1,206 @@
+//! Static priority search tree for 3-sided range reporting.
+//!
+//! The durable k-skyband index (paper Section IV-B, Fig. 4) maps each record
+//! `p` to the point `(p.t, τ_p)` in the "arrival time – duration" plane and
+//! answers the 3-sided query `I × [τ, +∞)` to retrieve the candidate set
+//! `C`. This module provides the classical McCreight priority search tree:
+//! a binary search tree on `x` that is simultaneously a max-heap on `y`,
+//! built in `O(n log n)` and queried in `O(log n + |out|)`.
+
+/// One indexed point: `x` (arrival time), `y` (duration), and a payload id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PstPoint {
+    /// Key coordinate (arrival time).
+    pub x: u32,
+    /// Heap coordinate (duration).
+    pub y: u32,
+    /// Caller payload (record id).
+    pub id: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: PstPoint,
+    left: i32,
+    right: i32,
+    min_x: u32,
+    max_x: u32,
+}
+
+/// A static priority search tree over points `(x, y)`.
+#[derive(Debug, Clone, Default)]
+pub struct PrioritySearchTree {
+    nodes: Vec<Node>,
+    root: i32,
+}
+
+impl PrioritySearchTree {
+    /// Builds the tree from a set of points.
+    pub fn build(mut points: Vec<PstPoint>) -> Self {
+        points.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+        let mut tree = Self { nodes: Vec::with_capacity(points.len()), root: -1 };
+        tree.root = tree.build_rec(points);
+        tree
+    }
+
+    fn build_rec(&mut self, mut pts: Vec<PstPoint>) -> i32 {
+        if pts.is_empty() {
+            return -1;
+        }
+        let min_x = pts[0].x;
+        let max_x = pts[pts.len() - 1].x;
+        // The subtree root is the max-y point; remaining points split at the
+        // x-median. `Vec::remove` is linear, but summed over a level it is
+        // O(n), giving O(n log n) total.
+        let best = pts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.y)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let point = pts.remove(best);
+        let idx = self.nodes.len() as i32;
+        self.nodes.push(Node { point, left: -1, right: -1, min_x, max_x });
+        if !pts.is_empty() {
+            let mid = pts.len() / 2;
+            let right_pts = pts.split_off(mid);
+            let left = self.build_rec(pts);
+            let right = self.build_rec(right_pts);
+            self.nodes[idx as usize].left = left;
+            self.nodes[idx as usize].right = right;
+        }
+        idx
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Reports every point with `x ∈ [x1, x2]` and `y >= y_min`.
+    ///
+    /// Output order is unspecified.
+    pub fn query(&self, x1: u32, x2: u32, y_min: u32) -> Vec<PstPoint> {
+        let mut out = Vec::new();
+        self.query_into(x1, x2, y_min, &mut out);
+        out
+    }
+
+    /// Like [`PrioritySearchTree::query`], reusing an output buffer.
+    pub fn query_into(&self, x1: u32, x2: u32, y_min: u32, out: &mut Vec<PstPoint>) {
+        if self.root >= 0 && x1 <= x2 {
+            self.query_rec(self.root, x1, x2, y_min, out);
+        }
+    }
+
+    fn query_rec(&self, idx: i32, x1: u32, x2: u32, y_min: u32, out: &mut Vec<PstPoint>) {
+        let node = &self.nodes[idx as usize];
+        // Heap property: every descendant has y <= node.y.
+        if node.point.y < y_min {
+            return;
+        }
+        // Subtree x-extent pruning.
+        if node.max_x < x1 || node.min_x > x2 {
+            return;
+        }
+        if x1 <= node.point.x && node.point.x <= x2 {
+            out.push(node.point);
+        }
+        if node.left >= 0 {
+            self.query_rec(node.left, x1, x2, y_min, out);
+        }
+        if node.right >= 0 {
+            self.query_rec(node.right, x1, x2, y_min, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(points: &[PstPoint], x1: u32, x2: u32, y_min: u32) -> Vec<u32> {
+        let mut ids: Vec<u32> = points
+            .iter()
+            .filter(|p| x1 <= p.x && p.x <= x2 && p.y >= y_min)
+            .map(|p| p.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let t = PrioritySearchTree::build(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.query(0, 100, 0).is_empty());
+    }
+
+    #[test]
+    fn three_sided_query_small() {
+        let pts = vec![
+            PstPoint { x: 1, y: 5, id: 0 },
+            PstPoint { x: 3, y: 2, id: 1 },
+            PstPoint { x: 5, y: 9, id: 2 },
+            PstPoint { x: 7, y: 1, id: 3 },
+            PstPoint { x: 9, y: 6, id: 4 },
+        ];
+        let t = PrioritySearchTree::build(pts.clone());
+        assert_eq!(t.len(), 5);
+        let mut got: Vec<u32> = t.query(2, 9, 3).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 4]);
+        assert_eq!(brute(&pts, 2, 9, 3), got);
+    }
+
+    #[test]
+    fn inverted_x_range_is_empty() {
+        let pts = vec![PstPoint { x: 1, y: 1, id: 0 }];
+        let t = PrioritySearchTree::build(pts);
+        assert!(t.query(5, 2, 0).is_empty());
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..25 {
+            let n = rng.random_range(1..300);
+            let pts: Vec<PstPoint> = (0..n)
+                .map(|i| PstPoint {
+                    x: rng.random_range(0..100),
+                    y: rng.random_range(0..50),
+                    id: i,
+                })
+                .collect();
+            let t = PrioritySearchTree::build(pts.clone());
+            for _ in 0..20 {
+                let a = rng.random_range(0..100);
+                let b = rng.random_range(0..100);
+                let (x1, x2) = (a.min(b), a.max(b));
+                let y_min = rng.random_range(0..60);
+                let mut got: Vec<u32> = t.query(x1, x2, y_min).iter().map(|p| p.id).collect();
+                got.sort_unstable();
+                assert_eq!(got, brute(&pts, x1, x2, y_min));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_x_values_supported() {
+        let pts = vec![
+            PstPoint { x: 4, y: 1, id: 0 },
+            PstPoint { x: 4, y: 7, id: 1 },
+            PstPoint { x: 4, y: 3, id: 2 },
+        ];
+        let t = PrioritySearchTree::build(pts.clone());
+        let mut got: Vec<u32> = t.query(4, 4, 2).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

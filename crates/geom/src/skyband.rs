@@ -1,0 +1,286 @@
+//! k-skyband computation and durable k-skyband durations.
+//!
+//! The k-skyband of a set contains every point dominated by at most `k − 1`
+//! other points in the set (footnote 4 of the paper); the skyline is the
+//! 1-skyband. The *durable k-skyband duration* `τ_p` of a record is the
+//! longest look-back window length for which `p` remains in the k-skyband of
+//! `P([p.t − τ, p.t])`. Because the `k` highest scores under any monotone
+//! scoring function lie in the k-skyband, `τ_p >= τ` is a necessary
+//! condition for `p` to be τ-durable — this is the pruning the S-Band index
+//! exploits.
+
+use crate::domcount::past_dominator_counts;
+use crate::dominance::dominates;
+use durable_topk_temporal::{Dataset, RecordId};
+
+/// Sentinel duration for records that stay in the k-skyband for every window
+/// length (fewer than `k` past dominators exist at all).
+pub const DURATION_UNBOUNDED: u32 = u32::MAX;
+
+/// Computes the k-skyband of the records `ids`: those dominated by at most
+/// `k − 1` others in the set.
+///
+/// Runs the quadratic candidate-vs-all scan with early exit at `k`
+/// dominators; intended for moderate set sizes (tests, per-window checks).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn k_skyband(ds: &Dataset, ids: &[RecordId], k: usize) -> Vec<RecordId> {
+    assert!(k > 0, "k must be positive");
+    let mut out = Vec::new();
+    for &p in ids {
+        let row = ds.row(p);
+        let mut dominators = 0usize;
+        for &q in ids {
+            if q != p && dominates(ds.row(q), row) {
+                dominators += 1;
+                if dominators >= k {
+                    break;
+                }
+            }
+        }
+        if dominators < k {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Computes, for every record, its durable k-skyband duration `τ_p`.
+///
+/// `τ_p` is the largest `τ` such that fewer than `k` records in
+/// `[p.t − τ, p.t]` dominate `p`; equivalently `p.t − t_k − 1` where `t_k`
+/// is the arrival time of the k-th most recent past dominator, or
+/// [`DURATION_UNBOUNDED`] when fewer than `k` past dominators exist.
+///
+/// Strategy (see DESIGN.md): for `d == 2` an `O(n log² n)` offline
+/// dominator-count pass first identifies the unbounded records so that the
+/// exact backward scan runs only on records guaranteed to find their k-th
+/// dominator; for other dimensionalities the backward scan runs directly
+/// with per-pair early exit.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn skyband_durations(ds: &Dataset, k: usize) -> Vec<u32> {
+    assert!(k > 0, "k must be positive");
+    let n = ds.len();
+    if ds.dim() == 2 {
+        let counts = past_dominator_counts(ds);
+        let mut out = vec![DURATION_UNBOUNDED; n];
+        for i in 0..n {
+            if (counts[i] as usize) >= k {
+                out[i] = kth_recent_dominator_duration(ds, i as RecordId, k)
+                    .expect("count pass guarantees k dominators exist");
+            }
+        }
+        out
+    } else {
+        (0..n as RecordId)
+            .map(|i| kth_recent_dominator_duration(ds, i, k).unwrap_or(DURATION_UNBOUNDED))
+            .collect()
+    }
+}
+
+/// Computes durable skyband durations for several `k` values in one pass.
+///
+/// Equivalent to calling [`skyband_durations`] per level but sharing the
+/// dominator scans: each record is scanned backwards once, up to the largest
+/// level that can be satisfied, recording the duration at every requested
+/// level along the way. This is how the S-Band index builds its logarithmic
+/// family of levels (`k = 1, 2, 4, …`) without multiplying the build cost.
+///
+/// Returns one duration vector per entry of `ks`, in order.
+///
+/// # Panics
+/// Panics if `ks` is empty, unsorted, or contains zero or duplicates.
+pub fn skyband_durations_multi(ds: &Dataset, ks: &[usize]) -> Vec<Vec<u32>> {
+    assert!(!ks.is_empty(), "at least one k level required");
+    assert!(ks[0] > 0, "k must be positive");
+    assert!(ks.windows(2).all(|w| w[0] < w[1]), "ks must be strictly ascending");
+    let n = ds.len();
+    let mut out = vec![vec![DURATION_UNBOUNDED; n]; ks.len()];
+    // For d == 2, the count pass tells us exactly how deep each record's
+    // scan must go; in higher dimensions we scan until the largest level or
+    // exhaustion.
+    let counts = (ds.dim() == 2).then(|| past_dominator_counts(ds));
+    let k_max = *ks.last().expect("non-empty");
+    for i in 0..n {
+        let target = match &counts {
+            Some(c) => {
+                // Deepest satisfiable level for this record.
+                let avail = c[i] as usize;
+                match ks.iter().rev().find(|&&k| k <= avail) {
+                    Some(&k) => k,
+                    None => continue, // all levels unbounded
+                }
+            }
+            None => k_max,
+        };
+        let row = ds.row(i as RecordId);
+        let mut found = 0usize;
+        let mut level = 0usize;
+        for j in (0..i).rev() {
+            if dominates(ds.row(j as RecordId), row) {
+                found += 1;
+                while level < ks.len() && ks[level] == found {
+                    out[level][i] = (i - j - 1) as u32;
+                    level += 1;
+                }
+                if found == target {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans backwards from `p` for its k-th most recent dominator; returns the
+/// corresponding duration, or `None` if fewer than `k` dominators exist.
+fn kth_recent_dominator_duration(ds: &Dataset, p: RecordId, k: usize) -> Option<u32> {
+    let row = ds.row(p);
+    let mut found = 0usize;
+    for j in (0..p).rev() {
+        if dominates(ds.row(j), row) {
+            found += 1;
+            if found == k {
+                return Some(p - j - 1);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_durations(ds: &Dataset, k: usize) -> Vec<u32> {
+        // Reference: for each p, the largest τ with fewer than k dominators
+        // in [p.t - τ, p.t], found by trying every τ.
+        let n = ds.len();
+        (0..n as RecordId)
+            .map(|p| {
+                let mut best: u32 = DURATION_UNBOUNDED;
+                for tau in 0..n as u32 {
+                    let lo = p.saturating_sub(tau);
+                    let doms = (lo..p)
+                        .filter(|&j| dominates(ds.row(j), ds.row(p)))
+                        .count();
+                    if doms >= k {
+                        best = tau - 1;
+                        break;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skyband_contains_skyline() {
+        let ds = Dataset::from_rows(2, [[1.0, 5.0], [5.0, 1.0], [3.0, 3.0], [2.0, 2.0]]);
+        let ids: Vec<RecordId> = (0..4).collect();
+        let sky1 = k_skyband(&ds, &ids, 1);
+        let sky2 = k_skyband(&ds, &ids, 2);
+        assert!(sky1.iter().all(|p| sky2.contains(p)));
+        assert_eq!(sky1, vec![0, 1, 2]);
+        assert_eq!(sky2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skyband_of_chain() {
+        // Decreasing chain: each point dominated by all previous ones.
+        let ds = Dataset::from_rows(2, [[4.0, 4.0], [3.0, 3.0], [2.0, 2.0], [1.0, 1.0]]);
+        let ids: Vec<RecordId> = (0..4).collect();
+        assert_eq!(k_skyband(&ds, &ids, 1), vec![0]);
+        assert_eq!(k_skyband(&ds, &ids, 2), vec![0, 1]);
+        assert_eq!(k_skyband(&ds, &ids, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn durations_on_known_sequence() {
+        // t0 (5,5)   t1 (4,4)   t2 (6,6)   t3 (3,3)
+        let ds = Dataset::from_rows(2, [[5.0, 5.0], [4.0, 4.0], [6.0, 6.0], [3.0, 3.0]]);
+        let d1 = skyband_durations(&ds, 1);
+        // t0: no dominators. t1: dominated by t0 (gap 0). t2: none.
+        // t3: most recent dominator t2 -> τ = 0.
+        assert_eq!(d1, vec![DURATION_UNBOUNDED, 0, DURATION_UNBOUNDED, 0]);
+        let d2 = skyband_durations(&ds, 2);
+        // t3's 2nd most recent dominator is t1 -> τ = 3 - 1 - 1 = 1.
+        assert_eq!(
+            d2,
+            vec![DURATION_UNBOUNDED, DURATION_UNBOUNDED, DURATION_UNBOUNDED, 1]
+        );
+    }
+
+    #[test]
+    fn durations_match_brute_force_2d() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.random_range(1..80);
+            let rows: Vec<[f64; 2]> = (0..n)
+                .map(|_| [rng.random_range(0..10) as f64, rng.random_range(0..10) as f64])
+                .collect();
+            let ds = Dataset::from_rows(2, rows);
+            for k in [1usize, 2, 3, 5] {
+                assert_eq!(skyband_durations(&ds, k), brute_durations(&ds, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn durations_match_brute_force_3d() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..6 {
+            let n = rng.random_range(1..60);
+            let rows: Vec<[f64; 3]> = (0..n)
+                .map(|_| {
+                    [
+                        rng.random_range(0..6) as f64,
+                        rng.random_range(0..6) as f64,
+                        rng.random_range(0..6) as f64,
+                    ]
+                })
+                .collect();
+            let ds = Dataset::from_rows(3, rows);
+            for k in [1usize, 2, 4] {
+                assert_eq!(skyband_durations(&ds, k), brute_durations(&ds, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_level_matches_single_level() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for d in [2usize, 3] {
+            let n = 120;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| rng.random_range(0..9) as f64).collect())
+                .collect();
+            let ds = Dataset::from_rows(d, rows);
+            let ks = [1usize, 2, 4, 8];
+            let multi = skyband_durations_multi(&ds, &ks);
+            for (level, &k) in ks.iter().enumerate() {
+                assert_eq!(multi[level], skyband_durations(&ds, k), "d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn multi_level_rejects_unsorted() {
+        let ds = Dataset::from_rows(2, [[1.0, 1.0]]);
+        skyband_durations_multi(&ds, &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let ds = Dataset::from_rows(2, [[1.0, 1.0]]);
+        skyband_durations(&ds, 0);
+    }
+}

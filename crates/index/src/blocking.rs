@@ -1,0 +1,171 @@
+//! The blocking mechanism of the score-prioritized algorithms.
+//!
+//! When a record `q` with score `f(q)` is visited, it *blocks* the τ-length
+//! interval `[q.t, q.t + τ]`: any record arriving in that interval has `q`
+//! inside its own look-back window. Once a timestamp is covered by `k`
+//! blocking intervals from strictly higher-scoring records, no record there
+//! can be τ-durable (Section IV, Fig. 3).
+//!
+//! Because every blocking interval has the same length τ, coverage of `t`
+//! reduces to counting interval *left endpoints* in `[t − τ, t]` — a Fenwick
+//! prefix-sum query over the discrete time domain.
+//!
+//! **Tie safety.** The paper assumes distinct scores; with real data (e.g.
+//! integer rebounds) ties are common, and an interval contributed by a
+//! record scoring *equal* to the record under test must not count (the
+//! durability predicate is strict: `f(q) > f(p)`). Callers visit records in
+//! non-increasing score order, so only the most recent score level can tie;
+//! the set keeps that level's left endpoints in a side buffer and subtracts
+//! the ones covering the probe.
+
+use durable_topk_geom::Fenwick;
+use durable_topk_temporal::Time;
+
+/// A multiset of fixed-length blocking intervals with tie-aware coverage
+/// counting.
+#[derive(Debug, Clone)]
+pub struct BlockingSet {
+    fenwick: Fenwick,
+    tau: Time,
+    /// Left endpoints inserted at the current (lowest-so-far) score level.
+    tie_lefts: Vec<Time>,
+    tie_score: f64,
+    len: usize,
+}
+
+impl BlockingSet {
+    /// Creates an empty set over the time domain `[0, n)` for intervals of
+    /// length `tau`.
+    pub fn new(n: usize, tau: Time) -> Self {
+        Self {
+            fenwick: Fenwick::new(n),
+            tau,
+            tie_lefts: Vec::new(),
+            tie_score: f64::INFINITY,
+            len: 0,
+        }
+    }
+
+    /// Number of intervals inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no interval was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts the blocking interval `[left, left + τ]` contributed by a
+    /// record scoring `score`.
+    ///
+    /// Scores at or below every previously *probed* score may arrive in any
+    /// order (the score-prioritized algorithms insert higher-scoring
+    /// blockers discovered by durability checks out of order); the tie
+    /// buffer only needs to track the minimum score level, which is the only
+    /// level that can tie future probes.
+    pub fn insert(&mut self, left: Time, score: f64) {
+        self.fenwick.add(left as usize, 1);
+        self.len += 1;
+        if score < self.tie_score {
+            self.tie_lefts.clear();
+            self.tie_score = score;
+            self.tie_lefts.push(left);
+        } else if score == self.tie_score {
+            self.tie_lefts.push(left);
+        }
+        // score > tie_score: strictly above every future probe; no buffering.
+    }
+
+    /// Counts blocking intervals covering `t` contributed by records with
+    /// score **strictly greater** than `score`.
+    ///
+    /// Correct provided probes arrive in non-increasing score order relative
+    /// to inserted minimums (the invariant maintained by S-Base, S-Band and
+    /// S-Hop, which process candidates by descending score).
+    pub fn coverage_above(&self, t: Time, score: f64) -> usize {
+        let lo = t.saturating_sub(self.tau) as usize;
+        let all = self.fenwick.range(lo, t as usize) as usize;
+        if score < self.tie_score {
+            return all;
+        }
+        debug_assert!(
+            score == self.tie_score,
+            "probe score above an inserted level violates descending-order use"
+        );
+        let tied_covering = self
+            .tie_lefts
+            .iter()
+            .filter(|&&l| l as usize >= lo && l <= t)
+            .count();
+        all - tied_covering
+    }
+
+    /// Counts all blocking intervals covering `t`, regardless of score.
+    pub fn coverage(&self, t: Time) -> usize {
+        let lo = t.saturating_sub(self.tau) as usize;
+        self.fenwick.range(lo, t as usize) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_intervals_containing_t() {
+        let mut b = BlockingSet::new(100, 10);
+        b.insert(5, 9.0); // covers [5, 15]
+        b.insert(12, 8.0); // covers [12, 22]
+        assert_eq!(b.coverage(4), 0);
+        assert_eq!(b.coverage(5), 1);
+        assert_eq!(b.coverage(12), 2);
+        assert_eq!(b.coverage(15), 2);
+        assert_eq!(b.coverage(16), 1);
+        assert_eq!(b.coverage(23), 0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn strictly_above_excludes_tied_level() {
+        let mut b = BlockingSet::new(50, 5);
+        b.insert(0, 7.0);
+        b.insert(2, 7.0);
+        b.insert(3, 6.0); // new minimum level
+        // Probe at the tied level 6.0: only the two 7.0 intervals count.
+        assert_eq!(b.coverage_above(4, 6.0), 2);
+        // Probe below every level: everything counts.
+        assert_eq!(b.coverage_above(4, 5.9), 3);
+        assert_eq!(b.coverage(4), 3);
+    }
+
+    #[test]
+    fn out_of_order_higher_insertions_always_count() {
+        let mut b = BlockingSet::new(50, 5);
+        b.insert(1, 4.0); // processing level drops to 4.0
+        b.insert(2, 9.0); // blocker discovered by a durability check
+        assert_eq!(b.coverage_above(3, 4.0), 1); // only the 9.0 interval
+        assert_eq!(b.coverage_above(3, 3.0), 2);
+    }
+
+    #[test]
+    fn left_edge_clamps() {
+        let mut b = BlockingSet::new(20, 8);
+        b.insert(0, 1.0);
+        assert_eq!(b.coverage(0), 1);
+        assert_eq!(b.coverage(8), 1);
+        assert_eq!(b.coverage(9), 0);
+    }
+
+    #[test]
+    fn tie_buffer_resets_on_new_level() {
+        let mut b = BlockingSet::new(30, 3);
+        b.insert(0, 5.0);
+        b.insert(1, 5.0);
+        assert_eq!(b.coverage_above(1, 5.0), 0);
+        b.insert(2, 4.0);
+        // Level 5.0 intervals now count for probes at 4.0.
+        assert_eq!(b.coverage_above(2, 4.0), 2);
+        assert_eq!(b.coverage_above(2, 3.5), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! An appendable top-k index for streaming arrivals.
+//!
+//! The static [`SkylineSegTree`](crate::SkylineSegTree) is built once over a
+//! dataset; instant-stamped data, however, keeps arriving. This module
+//! provides the classical logarithmic method: maintain a forest of segment
+//! trees over consecutive arrival ranges whose sizes follow a binary
+//! counter. Appending a record adds a singleton tree and merges equal-sized
+//! neighbors (rebuilding their range), giving amortized `O(log n)` merge
+//! events and keeping at most `⌈log₂ n⌉ + 1` trees; queries fan out over the
+//! forest and merge the per-tree `π≤k` sets.
+//!
+//! This realizes the paper's claim that the index "supports updates in
+//! polylogarithmic time" for the append-heavy temporal setting.
+
+use crate::segtree::{OracleScorer, QueryCounters, SkylineSegTree, TopKResult};
+use durable_topk_temporal::{Dataset, Time, Window};
+
+/// A forest of skyline segment trees supporting appends.
+#[derive(Debug, Clone)]
+pub struct AppendableTopKIndex {
+    trees: Vec<SkylineSegTree>,
+    n: usize,
+    leaf_size: usize,
+    counters: QueryCounters,
+}
+
+impl AppendableTopKIndex {
+    /// Creates an empty index with the given leaf granularity.
+    ///
+    /// # Panics
+    /// Panics if `leaf_size == 0`.
+    pub fn new(leaf_size: usize) -> Self {
+        assert!(leaf_size > 0, "leaf size must be positive");
+        Self { trees: Vec::new(), n: 0, leaf_size, counters: QueryCounters::default() }
+    }
+
+    /// Builds the index over an existing dataset (one tree), ready for
+    /// further appends.
+    pub fn build(ds: &Dataset, leaf_size: usize) -> Self {
+        let mut idx = Self::new(leaf_size);
+        if !ds.is_empty() {
+            idx.trees.push(SkylineSegTree::with_leaf_size(ds, leaf_size));
+            idx.n = ds.len();
+        }
+        idx
+    }
+
+    /// Number of records indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index covers no records.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of trees currently in the forest.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Instrumentation counters (logical queries against the forest).
+    pub fn counters(&self) -> &QueryCounters {
+        &self.counters
+    }
+
+    /// Indexes the most recently appended record of `ds`.
+    ///
+    /// # Panics
+    /// Panics unless `ds.len() == self.len() + 1` — exactly one new record
+    /// must have been pushed to the dataset since the last append/build.
+    pub fn append(&mut self, ds: &Dataset) {
+        assert_eq!(
+            ds.len(),
+            self.n + 1,
+            "append expects exactly one new record in the dataset"
+        );
+        let t = self.n as Time;
+        self.trees.push(SkylineSegTree::build_over(ds, t, t, self.leaf_size));
+        self.n += 1;
+        // Binary-counter merge: combine equal-length suffix trees.
+        while self.trees.len() >= 2 {
+            let last = self.trees[self.trees.len() - 1].coverage();
+            let prev = self.trees[self.trees.len() - 2].coverage();
+            if prev.len() != last.len() {
+                break;
+            }
+            self.trees.pop();
+            self.trees.pop();
+            self.trees.push(SkylineSegTree::build_over(
+                ds,
+                prev.start(),
+                last.end(),
+                self.leaf_size,
+            ));
+        }
+    }
+
+    /// Answers `Q(u, k, W)` over the forest.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the index is empty.
+    pub fn top_k(
+        &self,
+        ds: &Dataset,
+        scorer: &dyn OracleScorer,
+        k: usize,
+        w: Window,
+    ) -> TopKResult {
+        assert!(!self.trees.is_empty(), "cannot query an empty index");
+        self.counters.bump_queries();
+        let mut candidates = Vec::new();
+        for tree in &self.trees {
+            if tree.coverage().intersect(w).is_some() {
+                let r = tree.top_k(ds, scorer, k, w);
+                candidates.extend(r.items);
+            }
+        }
+        TopKResult::finalize(candidates, k)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segtree::scan_top_k;
+    use durable_topk_temporal::LinearScorer;
+    use rand::prelude::*;
+
+    #[test]
+    fn forest_matches_scan_under_appends() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ds = Dataset::new(2);
+        let mut idx = AppendableTopKIndex::new(4);
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        for step in 0..200usize {
+            ds.push(&[rng.random_range(0..20) as f64, rng.random_range(0..20) as f64]);
+            idx.append(&ds);
+            if step % 17 == 0 {
+                let n = ds.len() as Time;
+                let a = rng.random_range(0..n);
+                let b = rng.random_range(0..n);
+                let w = Window::new(a.min(b), a.max(b));
+                let k = rng.random_range(1..5);
+                assert_eq!(
+                    idx.top_k(&ds, &scorer, k, w),
+                    scan_top_k(&ds, &scorer, k, w),
+                    "step={step}"
+                );
+            }
+        }
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    fn forest_size_stays_logarithmic() {
+        let mut ds = Dataset::new(1);
+        let mut idx = AppendableTopKIndex::new(2);
+        for i in 0..1024usize {
+            ds.push(&[i as f64]);
+            idx.append(&ds);
+        }
+        // 1024 = 2^10: binary counter collapses to a single tree.
+        assert_eq!(idx.tree_count(), 1);
+        ds.push(&[0.0]);
+        idx.append(&ds);
+        assert_eq!(idx.tree_count(), 2);
+        for i in 0..6usize {
+            ds.push(&[i as f64]);
+            idx.append(&ds);
+        }
+        assert!(idx.tree_count() <= 11);
+    }
+
+    #[test]
+    fn build_then_append_mixes() {
+        let mut ds = Dataset::from_rows(1, [[3.0], [1.0], [2.0]]);
+        let mut idx = AppendableTopKIndex::build(&ds, 2);
+        ds.push(&[9.0]);
+        idx.append(&ds);
+        let scorer = LinearScorer::new(vec![1.0]);
+        let r = idx.top_k(&ds, &scorer, 2, Window::new(0, 3));
+        assert_eq!(r.items, vec![(3, 9.0), (0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one new record")]
+    fn append_requires_one_push() {
+        let mut ds = Dataset::from_rows(1, [[1.0]]);
+        let mut idx = AppendableTopKIndex::build(&ds, 2);
+        ds.push(&[2.0]);
+        ds.push(&[3.0]);
+        idx.append(&ds);
+    }
+}

@@ -1,0 +1,676 @@
+//! The preference top-k building block: a skyline-augmented segment tree.
+//!
+//! This is the index of the paper's Appendix A (Algorithms 4 and 5): a
+//! balanced binary tree over arrival order where every node stores the
+//! skyline of the records in its time interval. For a monotone scoring
+//! function the maximum score within a node is attained on its skyline, so
+//! scanning the (small) skyline yields an *exact* interval max score; a
+//! best-first search over canonical nodes then needs to open at most `k`
+//! leaf intervals to answer `Q(u, k, W)`.
+//!
+//! Two deliberate generalizations over the paper's description:
+//!
+//! 1. **Ties.** Results include every record tying the k-th score
+//!    ([`TopKResult::kth_score`]), so the durability predicate
+//!    `#{q : f(q) > f(p)} < k` can be evaluated exactly, and T-Hop's hop
+//!    target (the most recent arrival in `π≤k`) remains correct when scores
+//!    collide (common with integer-valued attributes such as rebounds).
+//! 2. **Non-monotone scorers.** A node exposes a full [`NodeSummary`]
+//!    (skyline, per-dimension bounds, norm range); any scorer that can
+//!    produce an admissible upper bound from the summary plugs in via
+//!    [`OracleScorer`]. The search remains exact because candidate records
+//!    are always scored individually — bounds only drive pruning.
+
+use durable_topk_geom::{skyline_indices, skyline_merge};
+use durable_topk_temporal::{
+    CosineScorer, Dataset, LinearScorer, MonotoneCombinationScorer, RecordId, Scorer,
+    SingleAttributeScorer, Time, Window,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default leaf granularity; the paper's `LENGTH_THRESHOLD = 128`.
+pub const DEFAULT_LEAF_SIZE: usize = 128;
+
+/// Per-node statistics exposed to scorers for bounding.
+#[derive(Debug, Clone)]
+pub struct NodeSummary {
+    /// Skyline of the node's records (ids into the dataset).
+    pub skyline: Vec<RecordId>,
+    /// Per-dimension maximum over the node's records.
+    pub dim_max: Vec<f64>,
+    /// Per-dimension minimum over the node's records.
+    pub dim_min: Vec<f64>,
+    /// Minimum Euclidean norm over the node's records.
+    pub norm_min: f64,
+    /// Maximum Euclidean norm over the node's records.
+    pub norm_max: f64,
+}
+
+impl NodeSummary {
+    fn from_range(ds: &Dataset, lo: Time, hi: Time) -> Self {
+        let ids: Vec<RecordId> = (lo..=hi).collect();
+        let skyline = skyline_indices(ds, &ids);
+        let mut s = Self::empty(ds.dim());
+        for id in lo..=hi {
+            s.absorb_row(ds.row(id));
+        }
+        s.skyline = skyline;
+        s
+    }
+
+    fn merged(ds: &Dataset, a: &NodeSummary, b: &NodeSummary) -> Self {
+        let d = a.dim_max.len();
+        let mut dim_max = Vec::with_capacity(d);
+        let mut dim_min = Vec::with_capacity(d);
+        for j in 0..d {
+            dim_max.push(a.dim_max[j].max(b.dim_max[j]));
+            dim_min.push(a.dim_min[j].min(b.dim_min[j]));
+        }
+        Self {
+            skyline: skyline_merge(ds, &a.skyline, &b.skyline),
+            dim_max,
+            dim_min,
+            norm_min: a.norm_min.min(b.norm_min),
+            norm_max: a.norm_max.max(b.norm_max),
+        }
+    }
+
+    fn empty(dim: usize) -> Self {
+        Self {
+            skyline: Vec::new(),
+            dim_max: vec![f64::NEG_INFINITY; dim],
+            dim_min: vec![f64::INFINITY; dim],
+            norm_min: f64::INFINITY,
+            norm_max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn absorb_row(&mut self, row: &[f64]) {
+        let mut sq = 0.0;
+        for (j, &x) in row.iter().enumerate() {
+            self.dim_max[j] = self.dim_max[j].max(x);
+            self.dim_min[j] = self.dim_min[j].min(x);
+            sq += x * x;
+        }
+        let norm = sq.sqrt();
+        self.norm_min = self.norm_min.min(norm);
+        self.norm_max = self.norm_max.max(norm);
+    }
+}
+
+/// A scorer usable by the top-k index: it must bound its own maximum over a
+/// summarized set of records.
+///
+/// The bound must be *admissible*: `node_bound(..) >= max_{p in node} f(p)`.
+/// Tighter bounds only improve pruning; correctness never depends on them.
+pub trait OracleScorer: Scorer {
+    /// An upper bound on the score of any record summarized by `node`.
+    fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64;
+}
+
+/// Exact bound for monotone scorers: the max score over the node is attained
+/// on the skyline.
+fn skyline_bound<S: Scorer>(scorer: &S, ds: &Dataset, node: &NodeSummary) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for &id in &node.skyline {
+        best = best.max(scorer.score(ds.row(id)));
+    }
+    best
+}
+
+impl OracleScorer for LinearScorer {
+    fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
+        skyline_bound(self, ds, node)
+    }
+}
+
+impl OracleScorer for MonotoneCombinationScorer {
+    fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
+        skyline_bound(self, ds, node)
+    }
+}
+
+impl OracleScorer for SingleAttributeScorer {
+    fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
+        skyline_bound(self, ds, node)
+    }
+}
+
+impl OracleScorer for CosineScorer {
+    /// Admissible bounding-box bound: `u·p` is bounded coordinate-wise by
+    /// the node box, `|p|` by the node's norm range. Cosine is capped at 1.
+    fn node_bound(&self, _ds: &Dataset, node: &NodeSummary) -> f64 {
+        let mut num = 0.0;
+        for (j, &w) in self.weights().iter().enumerate() {
+            num += if w >= 0.0 { w * node.dim_max[j] } else { w * node.dim_min[j] };
+        }
+        let wn = self.weight_norm();
+        if num > 0.0 {
+            if node.norm_min <= 0.0 {
+                1.0
+            } else {
+                (num / (wn * node.norm_min)).min(1.0)
+            }
+        } else if node.norm_min <= 0.0 {
+            // A zero vector scores exactly 0, which dominates the negative
+            // bound the box would give.
+            0.0
+        } else {
+            num / (wn * node.norm_max)
+        }
+    }
+}
+
+/// The result of a (range-restricted) preference top-k query.
+///
+/// `items` holds the `k` highest-scoring records in the window **plus every
+/// record tying the k-th score**, sorted by descending score and ascending
+/// id within ties. This is exactly the paper's `π≤k`: the set of records
+/// with fewer than `k` strictly-better records in the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// `(record, score)` pairs, best first.
+    pub items: Vec<(RecordId, f64)>,
+    /// The k-th highest score in the window (counting multiplicity), or
+    /// `f64::NEG_INFINITY` if the window holds fewer than `k` records.
+    pub kth_score: f64,
+}
+
+impl TopKResult {
+    /// Whether a record scoring `score` belongs to `π≤k` of this window.
+    ///
+    /// Valid for records *inside* the queried window: membership is exactly
+    /// `score >= kth_score` because all ties are materialized.
+    #[inline]
+    pub fn admits_score(&self, score: f64) -> bool {
+        score >= self.kth_score
+    }
+
+    /// The most recent arrival time among the returned records, if any.
+    pub fn max_time(&self) -> Option<Time> {
+        self.items.iter().map(|&(id, _)| id).max()
+    }
+
+    /// Number of returned records with score strictly above `score`.
+    pub fn strictly_better(&self, score: f64) -> usize {
+        self.items.iter().take_while(|&&(_, s)| s > score).count()
+    }
+
+    /// Builds a result from unsorted candidates: sorts best-first, derives
+    /// the k-th score and drops everything strictly below it.
+    pub fn finalize(mut candidates: Vec<(RecordId, f64)>, k: usize) -> Self {
+        candidates.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
+        });
+        let kth_score =
+            if candidates.len() >= k { candidates[k - 1].1 } else { f64::NEG_INFINITY };
+        candidates.retain(|&(_, s)| s >= kth_score);
+        Self { items: candidates, kth_score }
+    }
+}
+
+/// Instrumentation counters for the oracle, used by the experiment harness
+/// to report "number of top-k queries" exactly as the paper's figures do.
+///
+/// Counters are atomic (relaxed) so a built index can be shared across
+/// threads for batch query workloads.
+#[derive(Debug, Default)]
+pub struct QueryCounters {
+    queries: AtomicU64,
+    nodes_opened: AtomicU64,
+    records_scanned: AtomicU64,
+}
+
+impl QueryCounters {
+    /// Total `Q(u, k, W)` invocations since the last reset.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total tree nodes expanded by best-first search.
+    pub fn nodes_opened(&self) -> u64 {
+        self.nodes_opened.load(Ordering::Relaxed)
+    }
+
+    /// Total records individually scored.
+    pub fn records_scanned(&self) -> u64 {
+        self.records_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Increments the logical query count (used by composite indexes).
+    pub(crate) fn bump_queries(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.nodes_opened.store(0, Ordering::Relaxed);
+        self.records_scanned.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    lo: Time,
+    hi: Time,
+    left: i32,
+    right: i32,
+    summary: NodeSummary,
+}
+
+/// Total-order wrapper for f64 heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The skyline-augmented segment tree over arrival order.
+///
+/// Built once per dataset in `O(n · s̄ + n log n)` where `s̄` is the mean
+/// node skyline size; answers `Q(u, k, W)` for any window `W` and any
+/// [`OracleScorer`] given at query time.
+#[derive(Debug, Clone)]
+pub struct SkylineSegTree {
+    nodes: Vec<TreeNode>,
+    root: i32,
+    leaf_size: usize,
+    counters: QueryCounters,
+}
+
+impl Clone for QueryCounters {
+    fn clone(&self) -> Self {
+        let c = QueryCounters::default();
+        c.queries.store(self.queries(), Ordering::Relaxed);
+        c.nodes_opened.store(self.nodes_opened(), Ordering::Relaxed);
+        c.records_scanned.store(self.records_scanned(), Ordering::Relaxed);
+        c
+    }
+}
+
+impl SkylineSegTree {
+    /// Builds the index over the whole dataset with the default leaf size.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn build(ds: &Dataset) -> Self {
+        Self::with_leaf_size(ds, DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds with an explicit leaf granularity (the paper's
+    /// `LENGTH_THRESHOLD`). Exposed for the ablation experiments.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `leaf_size == 0`.
+    pub fn with_leaf_size(ds: &Dataset, leaf_size: usize) -> Self {
+        assert!(!ds.is_empty(), "cannot index an empty dataset");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        Self::build_over(ds, 0, (ds.len() - 1) as Time, leaf_size)
+    }
+
+    /// Builds the index over a sub-range of the dataset (used by the
+    /// appendable forest).
+    pub(crate) fn build_over(ds: &Dataset, lo: Time, hi: Time, leaf_size: usize) -> Self {
+        let mut tree = Self {
+            nodes: Vec::with_capacity(2 * ((hi - lo) as usize + 1) / leaf_size + 2),
+            root: -1,
+            leaf_size,
+            counters: QueryCounters::default(),
+        };
+        tree.root = tree.build_rec(ds, lo, hi);
+        tree
+    }
+
+    fn build_rec(&mut self, ds: &Dataset, lo: Time, hi: Time) -> i32 {
+        let idx = self.nodes.len() as i32;
+        if ((hi - lo) as usize) < self.leaf_size {
+            let summary = NodeSummary::from_range(ds, lo, hi);
+            self.nodes.push(TreeNode { lo, hi, left: -1, right: -1, summary });
+            return idx;
+        }
+        // Reserve the slot so parents precede children in memory.
+        self.nodes.push(TreeNode {
+            lo,
+            hi,
+            left: -1,
+            right: -1,
+            summary: NodeSummary::empty(ds.dim()),
+        });
+        let mid = lo + (hi - lo) / 2;
+        let left = self.build_rec(ds, lo, mid);
+        let right = self.build_rec(ds, mid + 1, hi);
+        let summary = NodeSummary::merged(
+            ds,
+            &self.nodes[left as usize].summary,
+            &self.nodes[right as usize].summary,
+        );
+        let node = &mut self.nodes[idx as usize];
+        node.left = left;
+        node.right = right;
+        node.summary = summary;
+        idx
+    }
+
+    /// The time range covered by this tree.
+    pub fn coverage(&self) -> Window {
+        let root = &self.nodes[self.root as usize];
+        Window::new(root.lo, root.hi)
+    }
+
+    /// Instrumentation counters.
+    pub fn counters(&self) -> &QueryCounters {
+        &self.counters
+    }
+
+    /// Answers `Q(u, k, W)`: the top-k records (with ties) in the window.
+    ///
+    /// The window is clamped to the tree's coverage; `None`-like empty
+    /// intersections yield an empty result with `kth_score = -inf`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn top_k(
+        &self,
+        ds: &Dataset,
+        scorer: &dyn OracleScorer,
+        k: usize,
+        w: Window,
+    ) -> TopKResult {
+        assert!(k > 0, "k must be positive");
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let cover = self.coverage();
+        let Some(w) = cover.intersect(w) else {
+            return TopKResult { items: Vec::new(), kth_score: f64::NEG_INFINITY };
+        };
+
+        // Best-first search over canonical nodes. Heap entries carry the
+        // node's admissible bound and the window slice it must scan (only
+        // partial leaves differ from the node range).
+        let mut pq: BinaryHeap<(OrdF64, i32, Time, Time)> = BinaryHeap::new();
+        self.seed_canonical(ds, scorer, self.root, w, &mut pq);
+
+        let mut candidates: Vec<(RecordId, f64)> = Vec::with_capacity(k * 2);
+        // Min-heap over the best k scores seen: its top is the running
+        // threshold s_k.
+        let mut best_k: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::with_capacity(k + 1);
+        let mut scanned = 0u64;
+        let mut opened = 0u64;
+
+        while let Some((bound, idx, lo, hi)) = pq.pop() {
+            let threshold = if best_k.len() >= k {
+                best_k.peek().expect("non-empty").0 .0
+            } else {
+                f64::NEG_INFINITY
+            };
+            // Strictly below the threshold: no record inside can enter π≤k
+            // (equal bounds may still contain ties of s_k).
+            if bound.0 < threshold {
+                break;
+            }
+            opened += 1;
+            let node = &self.nodes[idx as usize];
+            if node.left < 0 {
+                // Leaf: score records in [lo, hi].
+                for id in lo..=hi {
+                    let s = scorer.score(ds.row(id));
+                    scanned += 1;
+                    let threshold = if best_k.len() >= k {
+                        best_k.peek().expect("non-empty").0 .0
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    if s >= threshold {
+                        candidates.push((id, s));
+                        best_k.push(Reverse(OrdF64(s)));
+                        if best_k.len() > k {
+                            best_k.pop();
+                        }
+                    }
+                }
+                // Keep the candidate buffer from growing without bound on
+                // tie-heavy data.
+                if candidates.len() > 8 * k + 64 {
+                    let thr = if best_k.len() >= k {
+                        best_k.peek().expect("non-empty").0 .0
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    candidates.retain(|&(_, s)| s >= thr);
+                }
+            } else {
+                for child in [node.left, node.right] {
+                    let c = &self.nodes[child as usize];
+                    let cw = Window::new(c.lo, c.hi);
+                    if let Some(iw) = cw.intersect(Window::new(lo, hi)) {
+                        let b = scorer.node_bound(ds, &c.summary);
+                        pq.push((OrdF64(b), child, iw.start(), iw.end()));
+                    }
+                }
+            }
+        }
+        self.counters.nodes_opened.fetch_add(opened, Ordering::Relaxed);
+        self.counters.records_scanned.fetch_add(scanned, Ordering::Relaxed);
+        TopKResult::finalize(candidates, k)
+    }
+
+    /// Pushes the canonical decomposition of `w` under `node` into the heap.
+    fn seed_canonical(
+        &self,
+        ds: &Dataset,
+        scorer: &dyn OracleScorer,
+        idx: i32,
+        w: Window,
+        pq: &mut BinaryHeap<(OrdF64, i32, Time, Time)>,
+    ) {
+        let node = &self.nodes[idx as usize];
+        let range = Window::new(node.lo, node.hi);
+        let Some(iw) = range.intersect(w) else { return };
+        if w.contains_window(range) || node.left < 0 {
+            let b = scorer.node_bound(ds, &node.summary);
+            pq.push((OrdF64(b), idx, iw.start(), iw.end()));
+            return;
+        }
+        self.seed_canonical(ds, scorer, node.left, w, pq);
+        self.seed_canonical(ds, scorer, node.right, w, pq);
+    }
+}
+
+/// Naive reference oracle: scores every record in the window.
+///
+/// Used as the correctness baseline in tests and as the fallback oracle for
+/// scorers without node bounds.
+pub fn scan_top_k(ds: &Dataset, scorer: &dyn Scorer, k: usize, w: Window) -> TopKResult {
+    assert!(k > 0, "k must be positive");
+    if ds.is_empty() || w.start() as usize >= ds.len() {
+        return TopKResult { items: Vec::new(), kth_score: f64::NEG_INFINITY };
+    }
+    let w = w.clamp_to(ds.len());
+    let candidates: Vec<(RecordId, f64)> =
+        w.iter().map(|id| (id, scorer.score(ds.row(id)))).collect();
+    TopKResult::finalize(candidates, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_dataset(rng: &mut StdRng, n: usize, d: usize, vals: u32) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.random_range(0..vals) as f64).collect())
+            .collect();
+        Dataset::from_rows(d, rows)
+    }
+
+    #[test]
+    fn top_k_matches_scan_small() {
+        let ds = Dataset::from_rows(
+            2,
+            [[1.0, 2.0], [5.0, 5.0], [3.0, 1.0], [5.0, 5.0], [0.0, 9.0], [4.0, 4.0]],
+        );
+        let tree = SkylineSegTree::with_leaf_size(&ds, 2);
+        let scorer = LinearScorer::new(vec![1.0, 1.0]);
+        for k in 1..=4 {
+            let w = Window::new(0, 5);
+            let fast = tree.top_k(&ds, &scorer, k, w);
+            let slow = scan_top_k(&ds, &scorer, k, w);
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn ties_at_kth_are_all_returned() {
+        let ds = Dataset::from_rows(1, [[5.0], [3.0], [5.0], [5.0], [1.0]]);
+        let tree = SkylineSegTree::with_leaf_size(&ds, 1);
+        let scorer = SingleAttributeScorer::new(0);
+        let r = tree.top_k(&ds, &scorer, 2, Window::new(0, 4));
+        // Three records tie the 2nd score of 5.0.
+        assert_eq!(r.kth_score, 5.0);
+        let ids: Vec<RecordId> = r.items.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert!(r.admits_score(5.0));
+        assert!(!r.admits_score(4.9));
+        assert_eq!(r.strictly_better(4.0), 3);
+        assert_eq!(r.max_time(), Some(3));
+    }
+
+    #[test]
+    fn window_smaller_than_k_admits_everything() {
+        let ds = Dataset::from_rows(1, [[1.0], [2.0], [3.0]]);
+        let tree = SkylineSegTree::build(&ds);
+        let scorer = SingleAttributeScorer::new(0);
+        let r = tree.top_k(&ds, &scorer, 5, Window::new(0, 2));
+        assert_eq!(r.items.len(), 3);
+        assert_eq!(r.kth_score, f64::NEG_INFINITY);
+        assert!(r.admits_score(-1e300));
+    }
+
+    #[test]
+    fn window_clamps_beyond_coverage() {
+        let ds = Dataset::from_rows(1, [[1.0], [2.0], [3.0]]);
+        let tree = SkylineSegTree::build(&ds);
+        let scorer = SingleAttributeScorer::new(0);
+        let r = tree.top_k(&ds, &scorer, 1, Window::new(1, 500));
+        assert_eq!(r.items, vec![(2, 3.0)]);
+    }
+
+    #[test]
+    fn randomized_agreement_linear_2d() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..20 {
+            let n = rng.random_range(1..400);
+            let ds = random_dataset(&mut rng, n, 2, 15);
+            let leaf = *[1usize, 3, 8, 128].choose(&mut rng).expect("non-empty");
+            let tree = SkylineSegTree::with_leaf_size(&ds, leaf);
+            for _ in 0..10 {
+                let a = rng.random_range(0..n as Time);
+                let b = rng.random_range(0..n as Time);
+                let w = Window::new(a.min(b), a.max(b));
+                let k = rng.random_range(1..8);
+                let u = vec![rng.random::<f64>(), rng.random::<f64>()];
+                let scorer = LinearScorer::new(u);
+                let fast = tree.top_k(&ds, &scorer, k, w);
+                let slow = scan_top_k(&ds, &scorer, k, w);
+                assert_eq!(fast, slow, "trial={trial} k={k} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_agreement_high_dim() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for d in [3usize, 5, 8] {
+            let n = 200;
+            let ds = random_dataset(&mut rng, n, d, 10);
+            let tree = SkylineSegTree::with_leaf_size(&ds, 16);
+            for _ in 0..8 {
+                let a = rng.random_range(0..n as Time);
+                let b = rng.random_range(0..n as Time);
+                let w = Window::new(a.min(b), a.max(b));
+                let k = rng.random_range(1..6);
+                let u: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
+                let scorer = LinearScorer::new(u);
+                assert_eq!(
+                    tree.top_k(&ds, &scorer, k, w),
+                    scan_top_k(&ds, &scorer, k, w),
+                    "d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_agreement_cosine() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let n = rng.random_range(2..200);
+            let ds = random_dataset(&mut rng, n, 3, 9);
+            let tree = SkylineSegTree::with_leaf_size(&ds, 4);
+            let mut u: Vec<f64> =
+                (0..3).map(|_| rng.random::<f64>() * 2.0 - 0.5).collect();
+            if u.iter().all(|&w| w == 0.0) {
+                u[0] = 1.0;
+            }
+            let scorer = CosineScorer::new(u);
+            for _ in 0..6 {
+                let a = rng.random_range(0..n as Time);
+                let b = rng.random_range(0..n as Time);
+                let w = Window::new(a.min(b), a.max(b));
+                let k = rng.random_range(1..5);
+                let fast = tree.top_k(&ds, &scorer, k, w);
+                let slow = scan_top_k(&ds, &scorer, k, w);
+                assert_eq!(fast, slow, "trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_combination_agreement() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let ds = random_dataset(&mut rng, 300, 2, 50);
+        let tree = SkylineSegTree::build(&ds);
+        let scorer = MonotoneCombinationScorer::log1p(vec![0.7, 0.3]);
+        for _ in 0..10 {
+            let a = rng.random_range(0..300 as Time);
+            let b = rng.random_range(0..300 as Time);
+            let w = Window::new(a.min(b), a.max(b));
+            assert_eq!(
+                tree.top_k(&ds, &scorer, 3, w),
+                scan_top_k(&ds, &scorer, 3, w)
+            );
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let ds = Dataset::from_rows(1, [[1.0], [2.0], [3.0], [4.0]]);
+        let tree = SkylineSegTree::with_leaf_size(&ds, 1);
+        let scorer = SingleAttributeScorer::new(0);
+        tree.top_k(&ds, &scorer, 1, Window::new(0, 3));
+        tree.top_k(&ds, &scorer, 1, Window::new(0, 3));
+        assert_eq!(tree.counters().queries(), 2);
+        assert!(tree.counters().nodes_opened() > 0);
+        tree.counters().reset();
+        assert_eq!(tree.counters().queries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let ds = Dataset::from_rows(1, [[1.0]]);
+        let tree = SkylineSegTree::build(&ds);
+        tree.top_k(&ds, &SingleAttributeScorer::new(0), 0, Window::new(0, 0));
+    }
+}

@@ -1,0 +1,154 @@
+//! The durable k-skyband candidate index (paper Section IV-B, Fig. 4).
+//!
+//! For a monotone scoring function, any τ-durable top-k record must be
+//! τ-durable for the k-skyband as well. Mapping each record `p` to the point
+//! `(p.t, τ_p)` — arrival time versus longest skyband-resident duration —
+//! turns candidate retrieval into a 3-sided range query `I × [τ, +∞)` on a
+//! priority search tree.
+//!
+//! Because `k` is a query parameter, the index keeps a logarithmic family of
+//! levels `k = 1, 2, 4, …, 2^⌈log κ⌉`; a query with parameter `k` uses the
+//! smallest level `k̄ >= k`, whose candidate set is a superset of the answer
+//! (`S ⊆ C`), at the cost of at most doubling the effective `k`.
+
+use durable_topk_geom::{skyband_durations_multi, PrioritySearchTree, PstPoint};
+use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+
+/// The durable k-skyband index: one priority search tree per k level.
+#[derive(Debug, Clone)]
+pub struct DurableSkybandIndex {
+    levels: Vec<(usize, PrioritySearchTree)>,
+}
+
+impl DurableSkybandIndex {
+    /// Builds levels `k = 1, 2, 4, …` up to the first power of two at or
+    /// above `k_max`.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `k_max == 0`.
+    pub fn build(ds: &Dataset, k_max: usize) -> Self {
+        assert!(!ds.is_empty(), "cannot index an empty dataset");
+        assert!(k_max > 0, "k_max must be positive");
+        let mut ks = vec![1usize];
+        while *ks.last().expect("non-empty") < k_max {
+            ks.push(ks.last().expect("non-empty") * 2);
+        }
+        let durations = skyband_durations_multi(ds, &ks);
+        let levels = ks
+            .into_iter()
+            .zip(durations)
+            .map(|(k, durs)| {
+                let points = durs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, tau)| PstPoint { x: id as u32, y: tau, id: id as u32 })
+                    .collect();
+                (k, PrioritySearchTree::build(points))
+            })
+            .collect();
+        Self { levels }
+    }
+
+    /// The largest `k` the index can serve.
+    pub fn max_k(&self) -> usize {
+        self.levels.last().map_or(0, |&(k, _)| k)
+    }
+
+    /// The level (`k̄`) that will serve a query with parameter `k`, if any.
+    pub fn level_for(&self, k: usize) -> Option<usize> {
+        self.levels.iter().map(|&(lk, _)| lk).find(|&lk| lk >= k)
+    }
+
+    /// Retrieves the candidate superset `C` for `DurTop(k, I, τ)`: records
+    /// arriving in `interval` whose k̄-skyband duration is at least `tau`.
+    ///
+    /// Returns the candidate ids (unsorted) and the level `k̄` used.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the largest built level (the index cannot
+    /// guarantee a superset then).
+    pub fn candidates(&self, interval: Window, tau: Time, k: usize) -> (Vec<RecordId>, usize) {
+        assert!(k >= 1, "k must be positive");
+        let k_bar = self
+            .level_for(k)
+            .unwrap_or_else(|| panic!("index built for k <= {}, got {k}", self.max_k()));
+        let pst = &self
+            .levels
+            .iter()
+            .find(|&&(lk, _)| lk == k_bar)
+            .expect("level_for returned an existing level")
+            .1;
+        let ids = pst
+            .query(interval.start(), interval.end(), tau)
+            .into_iter()
+            .map(|p| p.id)
+            .collect();
+        (ids, k_bar)
+    }
+
+    /// Total candidate count for instrumentation without materializing ids.
+    pub fn candidate_count(&self, interval: Window, tau: Time, k: usize) -> usize {
+        self.candidates(interval, tau, k).0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_geom::{skyband_durations, DURATION_UNBOUNDED};
+    use rand::prelude::*;
+
+    #[test]
+    fn levels_are_powers_of_two() {
+        let ds = Dataset::from_rows(2, (0..32).map(|i| [i as f64, (32 - i) as f64]));
+        let idx = DurableSkybandIndex::build(&ds, 10);
+        assert_eq!(idx.max_k(), 16);
+        assert_eq!(idx.level_for(1), Some(1));
+        assert_eq!(idx.level_for(3), Some(4));
+        assert_eq!(idx.level_for(16), Some(16));
+        assert_eq!(idx.level_for(17), None);
+    }
+
+    #[test]
+    fn candidates_match_direct_duration_filter() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<[f64; 2]> = (0..150)
+            .map(|_| [rng.random_range(0..10) as f64, rng.random_range(0..10) as f64])
+            .collect();
+        let ds = Dataset::from_rows(2, rows);
+        let idx = DurableSkybandIndex::build(&ds, 8);
+        for k in [1usize, 2, 3, 5, 8] {
+            let k_bar = idx.level_for(k).expect("built");
+            let durs = skyband_durations(&ds, k_bar);
+            for tau in [1u32, 5, 20, 100] {
+                let interval = Window::new(30, 120);
+                let (mut got, used) = idx.candidates(interval, tau, k);
+                assert_eq!(used, k_bar);
+                got.sort_unstable();
+                let expected: Vec<RecordId> = (30..=120u32)
+                    .filter(|&i| durs[i as usize] >= tau)
+                    .collect();
+                assert_eq!(got, expected, "k={k} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_records_are_always_candidates() {
+        // Strictly increasing chain: nobody is ever dominated.
+        let ds = Dataset::from_rows(2, (0..20).map(|i| [i as f64, i as f64]));
+        let durs = skyband_durations(&ds, 1);
+        assert!(durs.iter().all(|&d| d == DURATION_UNBOUNDED));
+        let idx = DurableSkybandIndex::build(&ds, 4);
+        let (got, _) = idx.candidates(Window::new(0, 19), 19, 1);
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "index built for")]
+    fn oversized_k_panics() {
+        let ds = Dataset::from_rows(2, [[1.0, 1.0], [2.0, 2.0]]);
+        let idx = DurableSkybandIndex::build(&ds, 2);
+        idx.candidates(Window::new(0, 1), 1, 50);
+    }
+}

@@ -1,0 +1,129 @@
+//! Incremental top-k maintenance over sliding windows.
+//!
+//! The substrate of the T-Base baseline (Section III-A) and of the
+//! sliding-window alternative of Example I.1, following the skyband
+//! maintenance idea of Mouratidis et al.: keep the current window's `π≤k`
+//! materialized; when the window slides, an expiring record that is *not* in
+//! `π≤k` cannot change it beyond the incoming record's insertion, while an
+//! expiring member forces a from-scratch recomputation (which the caller
+//! performs with the top-k oracle).
+
+use crate::segtree::TopKResult;
+use durable_topk_temporal::RecordId;
+
+/// The materialized `π≤k` (top-k with ties) of the current window.
+#[derive(Debug, Clone)]
+pub struct SkybandBuffer {
+    k: usize,
+    /// Sorted by descending score, ascending id.
+    items: Vec<(RecordId, f64)>,
+}
+
+impl SkybandBuffer {
+    /// Initializes the buffer from an oracle result.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_result(k: usize, result: &TopKResult) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, items: result.items.clone() }
+    }
+
+    /// The k-th highest score in the window, `-inf` when fewer than `k`
+    /// records are present.
+    #[inline]
+    pub fn kth_score(&self) -> f64 {
+        if self.items.len() >= self.k {
+            self.items[self.k - 1].1
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Whether the record `id` is a member of the maintained `π≤k`.
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.items.iter().any(|&(i, _)| i == id)
+    }
+
+    /// Whether a record scoring `score` belongs to `π≤k` of the current
+    /// window (for records inside the window).
+    #[inline]
+    pub fn admits(&self, score: f64) -> bool {
+        score >= self.kth_score()
+    }
+
+    /// Current members, best first.
+    pub fn items(&self) -> &[(RecordId, f64)] {
+        &self.items
+    }
+
+    /// Slides the window past a non-member expiry and inserts the incoming
+    /// record.
+    ///
+    /// **Precondition**: the expiring record was not a member
+    /// (`!self.contains(expired)`), so the remaining membership is unchanged
+    /// except for the incoming record — the O(log k) incremental step of
+    /// T-Base. Call sites must recompute from scratch when the expiring
+    /// record is a member.
+    pub fn insert(&mut self, id: RecordId, score: f64) {
+        if score < self.kth_score() {
+            return;
+        }
+        let pos = self
+            .items
+            .partition_point(|&(i, s)| s > score || (s == score && i < id));
+        self.items.insert(pos, (id, score));
+        let kth = self.kth_score();
+        self.items.retain(|&(_, s)| s >= kth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(k: usize, items: Vec<(RecordId, f64)>) -> SkybandBuffer {
+        SkybandBuffer::from_result(k, &TopKResult { items, kth_score: 0.0 })
+    }
+
+    #[test]
+    fn kth_score_with_and_without_enough_records() {
+        let b = buf(2, vec![(0, 9.0), (1, 7.0), (2, 7.0)]);
+        assert_eq!(b.kth_score(), 7.0);
+        let b = buf(5, vec![(0, 9.0)]);
+        assert_eq!(b.kth_score(), f64::NEG_INFINITY);
+        assert!(b.admits(-1e308));
+    }
+
+    #[test]
+    fn insert_better_record_evicts_tail() {
+        let mut b = buf(2, vec![(0, 9.0), (1, 7.0)]);
+        b.insert(5, 8.0);
+        assert_eq!(b.items(), &[(0, 9.0), (5, 8.0)]);
+        assert_eq!(b.kth_score(), 8.0);
+    }
+
+    #[test]
+    fn insert_tie_keeps_all_tied() {
+        let mut b = buf(2, vec![(0, 9.0), (1, 7.0)]);
+        b.insert(5, 7.0);
+        assert_eq!(b.items(), &[(0, 9.0), (1, 7.0), (5, 7.0)]);
+        assert!(b.contains(5));
+    }
+
+    #[test]
+    fn insert_worse_record_is_ignored() {
+        let mut b = buf(2, vec![(0, 9.0), (1, 7.0)]);
+        b.insert(5, 6.9);
+        assert_eq!(b.items().len(), 2);
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    fn underfull_buffer_accepts_everything() {
+        let mut b = buf(3, vec![(0, 1.0)]);
+        b.insert(1, -5.0);
+        assert!(b.contains(1));
+        assert_eq!(b.items().len(), 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! User-specified scoring functions.
+//!
+//! The paper's algorithms are agnostic to the scoring function `f`: they only
+//! require a top-k "building block" that ranks records under `f`. This module
+//! defines the scoring interface and the three preference-function families
+//! the paper highlights (Section II):
+//!
+//! * **linear**: `f_u(p) = Σ u_i · p.x_i` ([`LinearScorer`]),
+//! * **linear combination of monotone functions**:
+//!   `f_u(p) = Σ u_i · h(p.x_i)` with monotone `h` such as `log`
+//!   ([`MonotoneCombinationScorer`]),
+//! * **cosine**: `f_u(p) = (Σ u_i · p.x_i) / (|p||u|)` ([`CosineScorer`]).
+//!
+//! The preference vector `u` is a query-time parameter: constructing a scorer
+//! is cheap and done per query.
+
+/// A user-specified scoring function mapping an attribute vector to a score.
+///
+/// Implementations must be deterministic and total (no NaNs) over the data
+/// they are used with; the query algorithms compare scores with `f64`
+/// ordering and treat exactly-equal scores as ties (ties can be co-durable,
+/// matching the paper's "tying for the top record" semantics).
+pub trait Scorer {
+    /// Scores one attribute vector.
+    fn score(&self, attrs: &[f64]) -> f64;
+
+    /// Whether the scorer is monotone non-decreasing in every attribute.
+    ///
+    /// Monotone scorers admit exact node bounds from skylines in the top-k
+    /// index and are eligible for the S-Band algorithm (Section IV-B, which
+    /// applies "to monotone scoring functions only").
+    fn is_monotone(&self) -> bool;
+}
+
+/// Linear preference scorer `f_u(p) = Σ u_i · p.x_i`.
+///
+/// Weights must be non-negative for the scorer to be monotone (this is the
+/// paper's setting: "`u_i` is the (non-negative) weight for the i-th
+/// attribute").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearScorer {
+    weights: Vec<f64>,
+}
+
+impl LinearScorer {
+    /// Creates a linear scorer with the given preference vector.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "preference vector must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "preference weights must be finite and non-negative"
+        );
+        Self { weights }
+    }
+
+    /// Uniform preference over `d` attributes (each weight `1/d`).
+    pub fn uniform(d: usize) -> Self {
+        Self::new(vec![1.0 / d as f64; d])
+    }
+
+    /// The preference vector `u`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Scorer for LinearScorer {
+    #[inline]
+    fn score(&self, attrs: &[f64]) -> f64 {
+        debug_assert_eq!(attrs.len(), self.weights.len());
+        // Manual loop: tight inner kernel of every top-k query.
+        let mut s = 0.0;
+        for (w, x) in self.weights.iter().zip(attrs) {
+            s += w * x;
+        }
+        s
+    }
+
+    fn is_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// A monotone per-attribute transform `h` for
+/// [`MonotoneCombinationScorer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonotoneTransform {
+    /// Identity: `h(x) = x`.
+    Identity,
+    /// `h(x) = ln(1 + max(x, 0))` — the paper's `log` example made total
+    /// over non-negative data.
+    Log1p,
+    /// `h(x) = sqrt(max(x, 0))`.
+    Sqrt,
+    /// `h(x) = x³` (odd power, monotone over all reals).
+    Cube,
+}
+
+impl MonotoneTransform {
+    /// Applies the transform.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            MonotoneTransform::Identity => x,
+            MonotoneTransform::Log1p => x.max(0.0).ln_1p(),
+            MonotoneTransform::Sqrt => x.max(0.0).sqrt(),
+            MonotoneTransform::Cube => x * x * x,
+        }
+    }
+}
+
+/// Linear combination of monotone transforms:
+/// `f_u(p) = Σ u_i · h_i(p.x_i)` with `u_i ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCombinationScorer {
+    weights: Vec<f64>,
+    transforms: Vec<MonotoneTransform>,
+}
+
+impl MonotoneCombinationScorer {
+    /// Creates the scorer; one transform per attribute.
+    ///
+    /// # Panics
+    /// Panics on empty/negative weights or arity mismatch.
+    pub fn new(weights: Vec<f64>, transforms: Vec<MonotoneTransform>) -> Self {
+        assert_eq!(weights.len(), transforms.len(), "one transform per weight");
+        assert!(!weights.is_empty(), "preference vector must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "preference weights must be finite and non-negative"
+        );
+        Self { weights, transforms }
+    }
+
+    /// Applies `Log1p` to every attribute with the given weights.
+    pub fn log1p(weights: Vec<f64>) -> Self {
+        let transforms = vec![MonotoneTransform::Log1p; weights.len()];
+        Self::new(weights, transforms)
+    }
+}
+
+impl Scorer for MonotoneCombinationScorer {
+    #[inline]
+    fn score(&self, attrs: &[f64]) -> f64 {
+        debug_assert_eq!(attrs.len(), self.weights.len());
+        let mut s = 0.0;
+        for ((w, tr), x) in self.weights.iter().zip(&self.transforms).zip(attrs) {
+            s += w * tr.apply(*x);
+        }
+        s
+    }
+
+    fn is_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// Cosine similarity scorer `f_u(p) = (u · p) / (|u||p|)`.
+///
+/// Cosine is **not** monotone in the attributes, so it cannot use skyline
+/// node bounds or the S-Band candidate index; the top-k oracle falls back to
+/// admissible bounding-box bounds for it, and only the generally-applicable
+/// algorithms (T-Base, T-Hop, S-Base, S-Hop) accept it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosineScorer {
+    weights: Vec<f64>,
+    norm: f64,
+}
+
+impl CosineScorer {
+    /// Creates a cosine scorer for the preference vector `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is empty, non-finite, or has zero norm.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "preference vector must be non-empty");
+        assert!(weights.iter().all(|w| w.is_finite()), "weights must be finite");
+        let norm = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "preference vector must be non-zero");
+        Self { weights, norm }
+    }
+
+    /// The preference vector `u`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `|u|`.
+    pub fn weight_norm(&self) -> f64 {
+        self.norm
+    }
+}
+
+impl Scorer for CosineScorer {
+    #[inline]
+    fn score(&self, attrs: &[f64]) -> f64 {
+        debug_assert_eq!(attrs.len(), self.weights.len());
+        let mut dot = 0.0;
+        let mut sq = 0.0;
+        for (w, x) in self.weights.iter().zip(attrs) {
+            dot += w * x;
+            sq += x * x;
+        }
+        if sq == 0.0 {
+            return 0.0; // zero vector: define cosine as 0
+        }
+        dot / (self.norm * sq.sqrt())
+    }
+
+    fn is_monotone(&self) -> bool {
+        false
+    }
+}
+
+/// Ranks records by a single attribute (the paper's Example I.1: rebounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleAttributeScorer {
+    attr: usize,
+}
+
+impl SingleAttributeScorer {
+    /// Scores by attribute `attr`.
+    pub fn new(attr: usize) -> Self {
+        Self { attr }
+    }
+}
+
+impl Scorer for SingleAttributeScorer {
+    #[inline]
+    fn score(&self, attrs: &[f64]) -> f64 {
+        attrs[self.attr]
+    }
+
+    fn is_monotone(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scores_dot_product() {
+        let s = LinearScorer::new(vec![2.0, 0.5]);
+        assert_eq!(s.score(&[3.0, 4.0]), 8.0);
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    fn uniform_weights_average() {
+        let s = LinearScorer::uniform(4);
+        assert!((s.score(&[4.0, 4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn linear_rejects_negative_weights() {
+        LinearScorer::new(vec![1.0, -0.1]);
+    }
+
+    #[test]
+    fn monotone_combination_applies_transforms() {
+        let s = MonotoneCombinationScorer::new(
+            vec![1.0, 1.0],
+            vec![MonotoneTransform::Identity, MonotoneTransform::Log1p],
+        );
+        let expected = 2.0 + (1.0f64 + 7.0).ln();
+        assert!((s.score(&[2.0, 7.0]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transforms_are_monotone() {
+        for tr in [
+            MonotoneTransform::Identity,
+            MonotoneTransform::Log1p,
+            MonotoneTransform::Sqrt,
+            MonotoneTransform::Cube,
+        ] {
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..100 {
+                let v = tr.apply(i as f64 * 0.37 - 5.0);
+                assert!(v >= prev, "{tr:?} not monotone");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant_in_record() {
+        let s = CosineScorer::new(vec![1.0, 2.0]);
+        let a = s.score(&[3.0, 4.0]);
+        let b = s.score(&[6.0, 8.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(!s.is_monotone());
+    }
+
+    #[test]
+    fn cosine_of_parallel_vector_is_one() {
+        let s = CosineScorer::new(vec![1.0, 2.0, 2.0]);
+        assert!((s.score(&[0.5, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(s.score(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn single_attribute_picks_column() {
+        let s = SingleAttributeScorer::new(1);
+        assert_eq!(s.score(&[9.0, 7.0, 5.0]), 7.0);
+    }
+}

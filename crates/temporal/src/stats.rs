@@ -1,0 +1,111 @@
+//! Dataset summary statistics (used by the Fig. 7 distribution report and
+//! for workload validation).
+
+use crate::Dataset;
+
+/// Per-attribute summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Summary statistics for a whole dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of records.
+    pub n: usize,
+    /// One [`ColumnStats`] per attribute.
+    pub columns: Vec<ColumnStats>,
+    /// Mean Euclidean norm of the attribute vectors (distinguishes IND from
+    /// ANTI data at a glance: ANTI concentrates on an annulus).
+    pub mean_norm: f64,
+    /// Standard deviation of the Euclidean norm.
+    pub std_norm: f64,
+}
+
+impl DatasetStats {
+    /// Computes summary statistics over the dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn compute(ds: &Dataset) -> Self {
+        assert!(!ds.is_empty(), "cannot summarize an empty dataset");
+        let n = ds.len();
+        let d = ds.dim();
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        let mut sum = vec![0.0; d];
+        let mut sumsq = vec![0.0; d];
+        let mut norm_sum = 0.0;
+        let mut norm_sumsq = 0.0;
+        for r in ds.iter() {
+            let mut sq = 0.0;
+            for (j, &x) in r.attrs.iter().enumerate() {
+                min[j] = min[j].min(x);
+                max[j] = max[j].max(x);
+                sum[j] += x;
+                sumsq[j] += x * x;
+                sq += x * x;
+            }
+            let norm = sq.sqrt();
+            norm_sum += norm;
+            norm_sumsq += sq;
+        }
+        let columns = (0..d)
+            .map(|j| {
+                let mean = sum[j] / n as f64;
+                let var = (sumsq[j] / n as f64 - mean * mean).max(0.0);
+                ColumnStats { min: min[j], max: max[j], mean, std: var.sqrt() }
+            })
+            .collect();
+        let mean_norm = norm_sum / n as f64;
+        let var_norm = (norm_sumsq / n as f64 - mean_norm * mean_norm).max(0.0);
+        Self { n, columns, mean_norm, std_norm: var_norm.sqrt() }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "n = {}, |p| = {:.4} ± {:.4}", self.n, self.mean_norm, self.std_norm)?;
+        for (j, c) in self.columns.iter().enumerate() {
+            writeln!(
+                f,
+                "  x{j}: min {:.4}  max {:.4}  mean {:.4}  std {:.4}",
+                c.min, c.max, c.mean, c.std
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_data() {
+        let ds = Dataset::from_rows(2, [[0.0, 2.0], [4.0, 2.0]]);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.columns[0].min, 0.0);
+        assert_eq!(s.columns[0].max, 4.0);
+        assert_eq!(s.columns[0].mean, 2.0);
+        assert_eq!(s.columns[0].std, 2.0);
+        assert_eq!(s.columns[1].std, 0.0);
+        let expected_norm = (2.0 + (16.0f64 + 4.0).sqrt()) / 2.0;
+        assert!((s.mean_norm - expected_norm).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn stats_reject_empty() {
+        DatasetStats::compute(&Dataset::new(1));
+    }
+}

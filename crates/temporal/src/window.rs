@@ -1,0 +1,206 @@
+//! Discrete time windows and durability-window anchoring.
+
+use crate::Time;
+
+/// An inclusive discrete time window `[start, end]`.
+///
+/// Windows are always well-formed (`start <= end`); constructors panic on
+/// inversion. Positions may exceed the dataset bounds — call
+/// [`Window::clamp_to`] before iterating records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    start: Time,
+    end: Time,
+}
+
+impl Window {
+    /// Creates the window `[start, end]`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(start <= end, "inverted window [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// The look-back durability window `[t − τ, t]`, clamped at time 0.
+    ///
+    /// This is the paper's default anchoring: a record is τ-durable iff it is
+    /// in the top-k of this window.
+    #[inline]
+    pub fn lookback(t: Time, tau: Time) -> Self {
+        Self { start: t.saturating_sub(tau), end: t }
+    }
+
+    /// The look-ahead durability window `[t, t + τ]` (saturating).
+    #[inline]
+    pub fn lookahead(t: Time, tau: Time) -> Self {
+        Self { start: t, end: t.saturating_add(tau) }
+    }
+
+    /// Inclusive left endpoint.
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Inclusive right endpoint.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// Number of discrete instants in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize + 1
+    }
+
+    /// Windows are never empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether instant `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` is fully inside `self`.
+    #[inline]
+    pub fn contains_window(&self, other: Window) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Intersection of two windows, or `None` if disjoint.
+    #[inline]
+    pub fn intersect(&self, other: Window) -> Option<Window> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Window { start, end })
+    }
+
+    /// Restricts the window to a dataset of `n` records, or `None` if the
+    /// window lies entirely past the end.
+    #[inline]
+    pub fn clamp_to(&self, n: usize) -> Window {
+        debug_assert!(n > 0 && (self.start as usize) < n, "window outside dataset");
+        Window { start: self.start, end: self.end.min((n - 1) as Time) }
+    }
+
+    /// Iterates the instants in the window.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Time> {
+        self.start..=self.end
+    }
+
+    /// Splits the window into consecutive `len`-sized chunks; the final chunk
+    /// may be shorter. This is the τ-length partition used by S-Hop
+    /// (Algorithm 3, line 2) and by tumbling-window queries.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn chunks(&self, len: Time) -> Vec<Window> {
+        assert!(len > 0, "chunk length must be positive");
+        let mut out = Vec::with_capacity(self.len() / len as usize + 1);
+        let mut lo = self.start;
+        loop {
+            let hi = lo.saturating_add(len - 1).min(self.end);
+            out.push(Window { start: lo, end: hi });
+            if hi == self.end {
+                break;
+            }
+            lo = hi + 1;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// How the durability window of length τ is positioned relative to a
+/// record's arrival time.
+///
+/// The paper stipulates only that the anchoring is *consistent* across
+/// records; both media-style variants are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Anchor {
+    /// Window ends at the record: `[p.t − τ, p.t]` ("best in the past τ").
+    #[default]
+    LookBack,
+    /// Window starts at the record: `[p.t, p.t + τ]` ("unbeaten for τ").
+    LookAhead,
+}
+
+impl Anchor {
+    /// The durability window for a record arriving at `t`.
+    #[inline]
+    pub fn window(&self, t: Time, tau: Time) -> Window {
+        match self {
+            Anchor::LookBack => Window::lookback(t, tau),
+            Anchor::LookAhead => Window::lookahead(t, tau),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookback_clamps_at_zero() {
+        let w = Window::lookback(3, 10);
+        assert_eq!((w.start(), w.end()), (0, 3));
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn lookahead_extends_forward() {
+        let w = Window::lookahead(3, 2);
+        assert_eq!((w.start(), w.end()), (3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_panics() {
+        Window::new(5, 4);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Window::new(2, 8);
+        let b = Window::new(4, 6);
+        assert!(a.contains_window(b));
+        assert!(!b.contains_window(a));
+        assert_eq!(a.intersect(Window::new(7, 12)), Some(Window::new(7, 8)));
+        assert_eq!(a.intersect(Window::new(9, 12)), None);
+        assert!(a.contains(2) && a.contains(8) && !a.contains(9));
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let w = Window::new(0, 9);
+        let parts = w.chunks(4);
+        assert_eq!(parts, vec![Window::new(0, 3), Window::new(4, 7), Window::new(8, 9)]);
+        let total: usize = parts.iter().map(Window::len).sum();
+        assert_eq!(total, w.len());
+    }
+
+    #[test]
+    fn chunks_cover_single_instant() {
+        let w = Window::new(5, 5);
+        assert_eq!(w.chunks(3), vec![Window::new(5, 5)]);
+    }
+
+    #[test]
+    fn anchor_windows() {
+        assert_eq!(Anchor::LookBack.window(10, 4), Window::new(6, 10));
+        assert_eq!(Anchor::LookAhead.window(10, 4), Window::new(10, 14));
+    }
+}

@@ -1,0 +1,206 @@
+//! NBA-like box-score generator.
+//!
+//! Substitutes for the paper's NBA dataset (basketball-reference.com,
+//! ~1M player-game records from 1983–2019 with 15 numeric attributes). The
+//! generator reproduces the structural properties the evaluation depends on:
+//!
+//! * records ordered by game date (many records per "day", ties broken by
+//!   arrival order, as the paper does);
+//! * small-integer, mutually correlated box-score stats (minutes drive
+//!   everything; points correlate with field goals, etc.);
+//! * *era trends* — pace-era rebound inflation early, a low-rebound era in
+//!   the 2000s, a late 3-point boom — which make durability analysis
+//!   non-trivial (the paper's Fig. 1 narrative: Duncan's modest 27 boards
+//!   were a durable top-1 precisely because of the 2000s trough);
+//! * a skewed player-skill distribution (superstars exist).
+
+use durable_topk_temporal::Dataset;
+use rand::prelude::*;
+
+/// Attribute names, in column order.
+pub const NBA_ATTRIBUTES: [&str; 15] = [
+    "points",
+    "assists",
+    "rebounds",
+    "steals",
+    "blocks",
+    "threes_made",
+    "field_goals_made",
+    "field_goals_att",
+    "free_throws_made",
+    "free_throws_att",
+    "turnovers",
+    "fouls",
+    "minutes",
+    "plus_minus",
+    "efficiency",
+];
+
+/// Index of a named attribute in [`NBA_ATTRIBUTES`].
+///
+/// # Panics
+/// Panics if the name is unknown.
+pub fn nba_attribute(name: &str) -> usize {
+    NBA_ATTRIBUTES
+        .iter()
+        .position(|&a| a == name)
+        .unwrap_or_else(|| panic!("unknown NBA attribute {name:?}"))
+}
+
+/// Generates `n` NBA-like records with all 15 attributes.
+///
+/// Use [`Dataset::project`] to carve the paper's NBA-X subsets, e.g.
+/// NBA-2 = `project(&[points, assists])`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn nba_like(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "n must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(15, n);
+    let mut row = [0.0f64; 15];
+    for i in 0..n {
+        // Position in "history": 0.0 = 1983, 1.0 = 2019.
+        let era = i as f64 / n as f64;
+        // Era pace multipliers.
+        let rebound_era = 1.15 - 0.35 * gaussian_bump(era, 0.62, 0.18); // 2000s trough
+        let three_era = 0.35 + 1.9 * era * era; // late boom
+        let scoring_era = 1.0 + 0.15 * gaussian_bump(era, 0.1, 0.2)
+            + 0.2 * gaussian_bump(era, 0.95, 0.15);
+
+        // Player skill: log-normal-ish mixture; rare superstars.
+        let skill = {
+            let base: f64 = rng.random::<f64>();
+            let star_bonus = if rng.random::<f64>() < 0.03 { rng.random::<f64>() * 1.5 } else { 0.0 };
+            0.25 + base + star_bonus
+        };
+        let minutes = (8.0 + 34.0 * (skill / 2.75).min(1.0) * rng.random::<f64>().sqrt()).min(48.0);
+        let usage = minutes / 48.0;
+
+        let fga = draw_count(&mut rng, 18.0 * usage * skill * scoring_era);
+        let fg_pct = 0.38 + 0.14 * rng.random::<f64>();
+        let fgm = binomial(&mut rng, fga, fg_pct);
+        let three_pct = (0.07 * three_era * rng.random::<f64>()).min(0.9);
+        let threes = binomial(&mut rng, fga, three_pct);
+        let fta = draw_count(&mut rng, 6.0 * usage * skill);
+        let ft_pct = 0.6 + 0.3 * rng.random::<f64>();
+        let ftm = binomial(&mut rng, fta, ft_pct);
+        let points = 2.0 * (fgm - threes).max(0.0) + 3.0 * threes + ftm;
+        let rebounds = draw_count(&mut rng, 7.5 * usage * skill * rebound_era);
+        let assists = draw_count(&mut rng, 5.0 * usage * skill);
+        let steals = draw_count(&mut rng, 1.4 * usage);
+        let blocks = draw_count(&mut rng, 1.2 * usage);
+        let turnovers = draw_count(&mut rng, 2.5 * usage);
+        let fouls = draw_count(&mut rng, 2.8 * usage).min(6.0);
+        let plus_minus = (rng.random::<f64>() * 2.0 - 1.0) * 18.0 * usage + 2.0 * (skill - 1.0);
+        let efficiency = points + rebounds + assists + steals + blocks - turnovers
+            - (fga - fgm).max(0.0)
+            - (fta - ftm).max(0.0);
+
+        row = [
+            points, assists, rebounds, steals, blocks, threes, fgm, fga, ftm, fta, turnovers,
+            fouls, minutes.round(), plus_minus.round(), efficiency,
+        ];
+        ds.push(&row);
+    }
+    let _ = row;
+    ds
+}
+
+/// Poisson-ish non-negative integer draw with the given mean (normal
+/// approximation, clamped and rounded — adequate for workload shaping).
+fn draw_count(rng: &mut StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let std = mean.sqrt();
+    let z: f64 = {
+        // Box–Muller.
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    (mean + std * z).round().max(0.0)
+}
+
+fn binomial(rng: &mut StdRng, trials: f64, p: f64) -> f64 {
+    let t = trials as u32;
+    let mut c = 0u32;
+    for _ in 0..t {
+        if rng.random::<f64>() < p {
+            c += 1;
+        }
+    }
+    c as f64
+}
+
+fn gaussian_bump(x: f64, center: f64, width: f64) -> f64 {
+    (-((x - center) / width).powi(2)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::DatasetStats;
+
+    #[test]
+    fn attributes_have_plausible_ranges() {
+        let ds = nba_like(20_000, 42);
+        let st = DatasetStats::compute(&ds);
+        let pts = &st.columns[nba_attribute("points")];
+        assert!(pts.min >= 0.0);
+        assert!(pts.max > 30.0 && pts.max < 150.0, "max points {}", pts.max);
+        assert!(pts.mean > 3.0 && pts.mean < 25.0, "mean points {}", pts.mean);
+        let reb = &st.columns[nba_attribute("rebounds")];
+        assert!(reb.max >= 10.0 && reb.max < 60.0, "max rebounds {}", reb.max);
+        let min = &st.columns[nba_attribute("minutes")];
+        assert!(min.max <= 48.0);
+    }
+
+    #[test]
+    fn rebound_era_trough_exists() {
+        // Mean rebounds in the trough era (~62% through history) should sit
+        // below the early-era mean.
+        let n = 60_000;
+        let ds = nba_like(n, 7);
+        let reb = nba_attribute("rebounds");
+        let mean_over = |lo: usize, hi: usize| -> f64 {
+            (lo..hi).map(|i| ds.value(i as u32, reb)).sum::<f64>() / (hi - lo) as f64
+        };
+        let early = mean_over(0, n / 5);
+        let trough = mean_over(n * 55 / 100, n * 70 / 100);
+        assert!(
+            trough < early * 0.9,
+            "expected rebound trough ({trough:.2}) well below early era ({early:.2})"
+        );
+    }
+
+    #[test]
+    fn three_point_boom_exists() {
+        let n = 60_000;
+        let ds = nba_like(n, 7);
+        let th = nba_attribute("threes_made");
+        let mean_over = |lo: usize, hi: usize| -> f64 {
+            (lo..hi).map(|i| ds.value(i as u32, th)).sum::<f64>() / (hi - lo) as f64
+        };
+        let early = mean_over(0, n / 5);
+        let late = mean_over(n * 4 / 5, n);
+        assert!(late > early * 1.5, "late threes {late:.2} vs early {early:.2}");
+    }
+
+    #[test]
+    fn deterministic_and_projectable() {
+        let a = nba_like(500, 3);
+        let b = nba_like(500, 3);
+        assert_eq!(a.raw_attrs(), b.raw_attrs());
+        let nba2 = a.project(&[nba_attribute("points"), nba_attribute("assists")]);
+        assert_eq!(nba2.dim(), 2);
+        assert_eq!(nba2.value(17, 0), a.value(17, nba_attribute("points")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown NBA attribute")]
+    fn unknown_attribute_panics() {
+        nba_attribute("dunks");
+    }
+}

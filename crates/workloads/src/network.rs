@@ -1,0 +1,159 @@
+//! Network-connection generator standing in for KDD Cup 1999.
+//!
+//! The paper's Network dataset has ~5M connection records with 37 numeric
+//! attributes (duration, bytes transferred, login attempts, per-host rates,
+//! …), MinMax-normalized because of heterogeneous units. What the evaluation
+//! exercises is:
+//!
+//! * prefix-of-d attribute selection (Network-X, d ∈ {2,…,37});
+//! * heavy-tailed magnitude columns (a few huge transfers dominate);
+//! * bursty anomaly episodes (attack windows where several features spike
+//!   together — the durable top-k use case from the introduction);
+//! * many sparse / near-constant indicator columns, which is what makes the
+//!   high-dimensional k-skyband explode in Fig. 11.
+
+use durable_topk_temporal::Dataset;
+use rand::prelude::*;
+
+/// Number of attributes in the full Network-like dataset.
+pub const NETWORK_DIM: usize = 37;
+
+/// Generates `n` network-connection-like records with 37 attributes,
+/// MinMax-normalized to `[0, 1]` exactly as the paper prepares KDD-99.
+///
+/// Use [`Dataset::project`] with `&(0..d)` prefixes for Network-X.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn network_like(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "n must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(NETWORK_DIM, n);
+    let mut row = [0.0f64; NETWORK_DIM];
+
+    // Attack episodes: intervals where anomaly intensity is high.
+    let mut attack_until = 0usize;
+    let mut intensity = 0.0f64;
+
+    for i in 0..n {
+        if i >= attack_until && rng.random::<f64>() < 2e-4 {
+            // Start a burst lasting 200..3000 records.
+            attack_until = i + rng.random_range(200..3000);
+            intensity = 0.5 + rng.random::<f64>();
+        }
+        let attacking = i < attack_until;
+        let boost = if attacking { 1.0 + intensity } else { 1.0 };
+
+        // Core magnitude features: log-normal tails.
+        let duration = lognormal(&mut rng, 1.0, 2.0) * boost;
+        let src_bytes = lognormal(&mut rng, 5.0, 2.5) * boost;
+        let dst_bytes = lognormal(&mut rng, 4.0, 2.5);
+        let logins = if attacking {
+            rng.random_range(0..40) as f64 * intensity
+        } else {
+            rng.random_range(0..3) as f64
+        };
+        let hosts = if attacking {
+            rng.random_range(1..120) as f64 * intensity
+        } else {
+            rng.random_range(1..8) as f64
+        };
+        row[0] = duration;
+        row[1] = src_bytes;
+        row[2] = dst_bytes;
+        row[3] = logins;
+        row[4] = hosts;
+
+        // Rate features: correlated with the burst state plus noise.
+        for (j, cell) in row.iter_mut().enumerate().take(17).skip(5) {
+            let base: f64 = rng.random::<f64>();
+            *cell = (base * 0.6 + if attacking { 0.4 * intensity.min(1.0) } else { 0.0 })
+                .min(1.0)
+                * (1.0 + 0.1 * j as f64);
+        }
+
+        // Sparse indicator-ish columns: mostly zero, occasionally one; a few
+        // near-constant columns. These are what inflate the k-skyband in
+        // high dimensions: any record with a rare 1 in some indicator is
+        // hard to dominate.
+        for (j, cell) in row.iter_mut().enumerate().take(NETWORK_DIM).skip(17) {
+            let sparsity = 0.002 + 0.01 * ((j - 17) as f64 / 20.0);
+            *cell = if rng.random::<f64>() < sparsity {
+                1.0
+            } else if j % 5 == 0 {
+                // Low-cardinality "count" column.
+                (rng.random_range(0..3) as f64) / 10.0
+            } else {
+                0.0
+            };
+        }
+        ds.push(&row);
+    }
+    ds.minmax_normalize();
+    ds
+}
+
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::DatasetStats;
+
+    #[test]
+    fn normalized_to_unit_interval() {
+        let ds = network_like(20_000, 5);
+        let st = DatasetStats::compute(&ds);
+        for (j, c) in st.columns.iter().enumerate() {
+            assert!(c.min >= 0.0 && c.max <= 1.0 + 1e-12, "col {j}: [{}, {}]", c.min, c.max);
+        }
+        assert_eq!(ds.dim(), NETWORK_DIM);
+    }
+
+    #[test]
+    fn magnitude_columns_are_heavy_tailed() {
+        let ds = network_like(30_000, 5);
+        let st = DatasetStats::compute(&ds);
+        // After MinMax, a heavy tail shows as a tiny mean relative to max=1.
+        assert!(st.columns[1].mean < 0.05, "src_bytes mean {}", st.columns[1].mean);
+    }
+
+    #[test]
+    fn bursts_exist() {
+        let ds = network_like(200_000, 11);
+        // The hosts column (4) should have contiguous stretches well above
+        // the global mean.
+        let st = DatasetStats::compute(&ds);
+        let mean = st.columns[4].mean;
+        let mut best_run = 0usize;
+        let mut run = 0usize;
+        for i in 0..ds.len() {
+            if ds.value(i as u32, 4) > mean * 3.0 {
+                run += 1;
+                best_run = best_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best_run >= 20, "expected a bursty episode, best run {best_run}");
+    }
+
+    #[test]
+    fn skyband_explodes_with_dimension() {
+        use durable_topk_geom::k_skyband;
+        let ds = network_like(1_500, 9);
+        let ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let low = k_skyband(&ds.project(&[0, 1]), &ids, 2).len();
+        let high_dims: Vec<usize> = (0..20).collect();
+        let high = k_skyband(&ds.project(&high_dims), &ids, 2).len();
+        assert!(
+            high > 5 * low,
+            "20-d skyband ({high}) should dwarf 2-d skyband ({low})"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Random preference vectors for query workloads.
+//!
+//! The paper runs each measurement 100 times with 100 random preference
+//! vectors and reports means with standard deviations; these helpers supply
+//! the vectors.
+
+use rand::prelude::*;
+
+/// Draws a random non-negative preference vector of dimension `d`,
+/// normalized to sum 1 (uniform over the positive orthant directionally).
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn random_preference(d: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(d > 0, "dimension must be positive");
+    loop {
+        let mut u: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
+        let sum: f64 = u.iter().sum();
+        if sum > 0.0 {
+            for w in &mut u {
+                *w /= sum;
+            }
+            return u;
+        }
+    }
+}
+
+/// A deterministic sequence of `count` preference vectors.
+pub fn preference_suite(d: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| random_preference(d, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferences_are_normalized_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [1usize, 2, 5, 37] {
+            let u = random_preference(d, &mut rng);
+            assert_eq!(u.len(), d);
+            assert!(u.iter().all(|&w| w >= 0.0));
+            assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(preference_suite(3, 5, 9), preference_suite(3, 5, 9));
+        assert_ne!(preference_suite(3, 5, 9), preference_suite(3, 5, 10));
+    }
+}

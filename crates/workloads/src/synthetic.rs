@@ -1,0 +1,127 @@
+//! IND and ANTI synthetic distributions (paper Fig. 7).
+
+use durable_topk_temporal::Dataset;
+use rand::prelude::*;
+
+/// Independent uniform data: each attribute of each record drawn i.i.d.
+/// from `U[0, 1]` (the paper's IND family, any dimensionality).
+///
+/// # Panics
+/// Panics if `n == 0` or `d == 0`.
+pub fn ind(n: usize, d: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0, "n and d must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut row = vec![0.0f64; d];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.random::<f64>();
+        }
+        ds.push(&row);
+    }
+    ds
+}
+
+/// Anti-correlated 2-d data: points uniform (in angle) on the positive-
+/// orthant portion of an annulus centered at the origin with outer radius 1
+/// and inner radius 0.8 — "an environment where most of the records gather
+/// in the k-skyband" (paper Fig. 7-(2)).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn anti(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "n must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(2, n);
+    for _ in 0..n {
+        let theta = rng.random::<f64>() * std::f64::consts::FRAC_PI_2;
+        // Uniform by area between radii 0.8 and 1.0.
+        let r = (0.8f64.powi(2) + rng.random::<f64>() * (1.0 - 0.8f64.powi(2))).sqrt();
+        ds.push(&[r * theta.cos(), r * theta.sin()]);
+    }
+    ds
+}
+
+/// Correlated 2-d data: attribute values clustered around the x = y
+/// diagonal (the classic counterpart of ANTI in the skyline literature).
+/// Correlated data has tiny skylines/skybands — the opposite extreme from
+/// ANTI — and is useful for bracketing S-Band's data-distribution
+/// sensitivity in ablations.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn corr(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "n must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(2, n);
+    for _ in 0..n {
+        let base = rng.random::<f64>();
+        let jitter = 0.08 * (rng.random::<f64>() - 0.5);
+        let x = (base + jitter).clamp(0.0, 1.0);
+        let y = (base - jitter).clamp(0.0, 1.0);
+        ds.push(&[x, y]);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_topk_temporal::DatasetStats;
+
+    #[test]
+    fn ind_is_unit_cube() {
+        let ds = ind(5_000, 3, 1);
+        let st = DatasetStats::compute(&ds);
+        for c in &st.columns {
+            assert!(c.min >= 0.0 && c.max <= 1.0);
+            assert!((c.mean - 0.5).abs() < 0.05, "uniform mean ~0.5, got {}", c.mean);
+        }
+    }
+
+    #[test]
+    fn anti_lies_on_annulus() {
+        let ds = anti(5_000, 2);
+        for r in ds.iter() {
+            let norm = (r.attrs[0].powi(2) + r.attrs[1].powi(2)).sqrt();
+            assert!((0.8 - 1e-9..=1.0 + 1e-9).contains(&norm), "norm {norm}");
+            assert!(r.attrs[0] >= 0.0 && r.attrs[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(ind(100, 2, 7).raw_attrs(), ind(100, 2, 7).raw_attrs());
+        assert_eq!(anti(100, 7).raw_attrs(), anti(100, 7).raw_attrs());
+        assert_eq!(corr(100, 7).raw_attrs(), corr(100, 7).raw_attrs());
+        assert_ne!(ind(100, 2, 7).raw_attrs(), ind(100, 2, 8).raw_attrs());
+    }
+
+    #[test]
+    fn corr_hugs_the_diagonal_and_has_tiny_skyband() {
+        use durable_topk_geom::k_skyband;
+        let ds = corr(2_000, 4);
+        for r in ds.iter() {
+            assert!((r.attrs[0] - r.attrs[1]).abs() <= 0.081);
+        }
+        let ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let band = k_skyband(&ds, &ids, 3);
+        let anti_band = k_skyband(&anti(2_000, 4), &ids, 3);
+        assert!(band.len() * 5 < anti_band.len(), "CORR {} vs ANTI {}", band.len(), anti_band.len());
+    }
+
+    #[test]
+    fn anti_has_larger_skyband_than_ind() {
+        use durable_topk_geom::k_skyband;
+        let n = 800;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let anti_ds = anti(n, 3);
+        let ind_ds = ind(n, 2, 3);
+        let anti_band = k_skyband(&anti_ds, &ids, 3).len();
+        let ind_band = k_skyband(&ind_ds, &ids, 3).len();
+        assert!(
+            anti_band > 3 * ind_band,
+            "ANTI skyband {anti_band} should dwarf IND {ind_band}"
+        );
+    }
+}

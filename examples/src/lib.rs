@@ -1,0 +1,1 @@
+//! Example binaries live at the crate root; see Cargo.toml [[bin]] entries.

@@ -1,0 +1,173 @@
+//! Edge cases, failure paths, and non-monotone scorer coverage.
+
+use durable_topk::{
+    Algorithm, CosineScorer, DurableQuery, DurableTopKEngine, LinearScorer, ScanOracle,
+    Scorer, TopKOracle, Window,
+};
+use durable_topk_temporal::Dataset;
+
+#[test]
+fn single_record_dataset() {
+    let ds = Dataset::from_rows(3, [[1.0, 2.0, 3.0]]);
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(4);
+    let scorer = LinearScorer::uniform(3);
+    let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 0) };
+    for alg in Algorithm::ALL {
+        assert_eq!(engine.query(alg, &scorer, &q).records, vec![0], "alg={alg}");
+    }
+}
+
+#[test]
+fn interval_of_one_instant() {
+    let ds = Dataset::from_rows(1, (0..100).map(|i| [((i * 7) % 13) as f64]));
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(4);
+    let scorer = LinearScorer::uniform(1);
+    for t in [0u32, 50, 99] {
+        let q = DurableQuery { k: 2, tau: 10, interval: Window::new(t, t) };
+        let reference = engine.query(Algorithm::TBase, &scorer, &q);
+        for alg in Algorithm::ALL {
+            assert_eq!(engine.query(alg, &scorer, &q).records, reference.records, "t={t} alg={alg}");
+        }
+    }
+}
+
+#[test]
+fn tau_larger_than_history() {
+    let ds = Dataset::from_rows(1, (0..50).map(|i| [((i * 11) % 17) as f64]));
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(4);
+    let scorer = LinearScorer::uniform(1);
+    // τ covering far more than all of history: windows clamp at 0, so a
+    // record is durable iff it is top-k among ALL its predecessors.
+    let q = DurableQuery { k: 3, tau: 10_000, interval: Window::new(0, 49) };
+    let expected: Vec<u32> = (0..50u32)
+        .filter(|&t| {
+            let my = engine.dataset().value(t, 0);
+            (0..t).filter(|&u| engine.dataset().value(u, 0) > my).count() < 3
+        })
+        .collect();
+    for alg in Algorithm::ALL {
+        assert_eq!(engine.query(alg, &scorer, &q).records, expected, "alg={alg}");
+    }
+}
+
+#[test]
+fn k_larger_than_window_population() {
+    let ds = Dataset::from_rows(1, (0..30).map(|i| [i as f64]));
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(64);
+    let scorer = LinearScorer::uniform(1);
+    // k = 50 > any window population: everything is durable.
+    let q = DurableQuery { k: 50, tau: 5, interval: Window::new(0, 29) };
+    for alg in Algorithm::ALL {
+        assert_eq!(engine.query(alg, &scorer, &q).records.len(), 30, "alg={alg}");
+    }
+}
+
+#[test]
+fn cosine_scorer_works_with_general_algorithms() {
+    let rows: Vec<[f64; 3]> = (0..400)
+        .map(|i| {
+            let a = ((i * 13) % 23) as f64 + 1.0;
+            let b = ((i * 7) % 19) as f64 + 1.0;
+            let c = ((i * 29) % 31) as f64 + 1.0;
+            [a, b, c]
+        })
+        .collect();
+    let ds = Dataset::from_rows(3, rows);
+    let engine = DurableTopKEngine::new(ds);
+    let scorer = CosineScorer::new(vec![1.0, 2.0, 0.5]);
+    let q = DurableQuery { k: 4, tau: 50, interval: Window::new(100, 399) };
+    // Brute-force reference with the non-monotone scorer.
+    let expected: Vec<u32> = q
+        .interval
+        .iter()
+        .filter(|&t| {
+            let my = scorer.score(engine.dataset().row(t));
+            Window::lookback(t, q.tau)
+                .iter()
+                .filter(|&u| scorer.score(engine.dataset().row(u)) > my)
+                .count()
+                < q.k
+        })
+        .collect();
+    for alg in [Algorithm::TBase, Algorithm::THop, Algorithm::SBase, Algorithm::SHop] {
+        assert_eq!(engine.query(alg, &scorer, &q).records, expected, "alg={alg}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "monotone")]
+fn sband_rejects_cosine() {
+    let ds = Dataset::from_rows(2, [[1.0, 2.0], [2.0, 1.0]]);
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(2);
+    let scorer = CosineScorer::new(vec![1.0, 1.0]);
+    let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 1) };
+    engine.query(Algorithm::SBand, &scorer, &q);
+}
+
+#[test]
+fn zero_vectors_with_cosine() {
+    // Records containing the zero vector must not break the oracle's
+    // bounding logic (cosine of zero is defined as 0).
+    let ds = Dataset::from_rows(2, [[0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [2.0, 0.1], [0.5, 0.5]]);
+    let engine = DurableTopKEngine::new(ds);
+    let scorer = CosineScorer::new(vec![1.0, 1.0]);
+    let scan = ScanOracle::new();
+    for k in 1..=3 {
+        let fast = engine.oracle().top_k(engine.dataset(), &scorer, k, Window::new(0, 4));
+        let slow = scan.top_k(engine.dataset(), &scorer, k, Window::new(0, 4));
+        assert_eq!(fast, slow, "k={k}");
+    }
+}
+
+#[test]
+fn negative_cosine_weights_supported() {
+    // Cosine allows signed preferences ("like x0, dislike x1").
+    let ds = Dataset::from_rows(2, (0..200).map(|i| {
+        [((i * 3) % 11) as f64 + 1.0, ((i * 5) % 7) as f64 + 1.0]
+    }));
+    let engine = DurableTopKEngine::new(ds);
+    let scorer = CosineScorer::new(vec![1.0, -1.0]);
+    let scan = ScanOracle::new();
+    for t in [30u32, 120, 199] {
+        let w = Window::lookback(t, 40);
+        let fast = engine.oracle().top_k(engine.dataset(), &scorer, 3, w);
+        let slow = scan.top_k(engine.dataset(), &scorer, 3, w);
+        assert_eq!(fast, slow, "t={t}");
+    }
+}
+
+#[test]
+fn stats_reflect_algorithm_behaviour() {
+    let ds = Dataset::from_rows(1, (0..2_000).map(|i| [((i * 97) % 389) as f64]));
+    let engine = DurableTopKEngine::new(ds).with_skyband_index(8);
+    let scorer = LinearScorer::uniform(1);
+    let q = DurableQuery { k: 5, tau: 400, interval: Window::new(500, 1_999) };
+    let tb = engine.query(Algorithm::TBase, &scorer, &q);
+    // T-Base visits every record of I.
+    assert_eq!(tb.stats.candidates, 1_500);
+    let sb = engine.query(Algorithm::SBase, &scorer, &q);
+    // S-Base sorts everything in [I.start - tau, I.end] and never calls the
+    // oracle.
+    assert_eq!(sb.stats.candidates, 1_900);
+    assert_eq!(sb.stats.topk_queries(), 0);
+    let th = engine.query(Algorithm::THop, &scorer, &q);
+    // T-Hop's durability checks equal its visited candidates.
+    assert_eq!(th.stats.durability_checks, th.stats.candidates);
+    let sh = engine.query(Algorithm::SHop, &scorer, &q);
+    // Blocking prunes: S-Hop checks no more records than T-Hop.
+    assert!(sh.stats.durability_checks <= th.stats.durability_checks);
+}
+
+#[test]
+fn oracle_counters_are_cumulative_across_queries() {
+    let ds = Dataset::from_rows(1, (0..500).map(|i| [(i % 97) as f64]));
+    let engine = DurableTopKEngine::new(ds);
+    let scorer = LinearScorer::uniform(1);
+    engine.reset_counters();
+    let q = DurableQuery { k: 3, tau: 100, interval: Window::new(100, 499) };
+    let r1 = engine.query(Algorithm::THop, &scorer, &q);
+    let after_one = engine.oracle_queries();
+    assert_eq!(after_one, r1.stats.topk_queries());
+    let r2 = engine.query(Algorithm::SHop, &scorer, &q);
+    assert_eq!(engine.oracle_queries(), after_one + r2.stats.topk_queries());
+}
