@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
     for k in [5usize, 20, 50] {
         for alg in [Algorithm::THop, Algorithm::SBand, Algorithm::SHop] {
             let q = query_pct(n, k, 0.10, 0.50);
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), format!("k{k}")),
-                &q,
-                |b, q| b.iter(|| engine.query(alg, &scorer, q)),
-            );
+            g.bench_with_input(BenchmarkId::new(alg.name(), format!("k{k}")), &q, |b, q| {
+                b.iter(|| engine.query(alg, &scorer, q))
+            });
         }
     }
     g.finish();

@@ -12,14 +12,11 @@ use durable_topk::{
     alternatives, Algorithm, DurableQuery, DurableTopKEngine, LinearScorer, ScanOracle,
     SingleAttributeScorer, TopKOracle, Window,
 };
-use durable_topk_bench::{
-    default_query, mean_std, measure, pm, query_pct, Config, TablePrinter,
-};
+use durable_topk_bench::{default_query, mean_std, measure, pm, query_pct, Config, TablePrinter};
 use durable_topk_store::{t_base_proc, t_hop_proc, RelStore};
 use durable_topk_temporal::{Dataset, DatasetStats, Scorer, Time};
 use durable_topk_workloads::{
-    anti, ind, nba_attribute, nba_like, network_like, preference_suite,
-    random_permutation_dataset,
+    anti, ind, nba_attribute, nba_like, network_like, preference_suite, random_permutation_dataset,
 };
 use std::time::Instant;
 
@@ -220,8 +217,7 @@ fn sweep_table(
         "|C|".to_string(),
     ]);
     for (label, query) in sweeps {
-        let ms: Vec<_> =
-            alg_suite().iter().map(|&a| measure(engine, a, query, cfg)).collect();
+        let ms: Vec<_> = alg_suite().iter().map(|&a| measure(engine, a, query, cfg)).collect();
         time_t.row(vec![
             label.clone(),
             format!("{:.0}", ms[0].answer_size),
@@ -287,11 +283,10 @@ fn fig10(cfg: &Config) {
     ] {
         let n = ds.len();
         let engine = DurableTopKEngine::new(ds).with_skyband_index(64);
-        let sweeps: Vec<(String, DurableQuery)> =
-            [0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80]
-                .iter()
-                .map(|&p| (format!("|I|={:.0}%", p * 100.0), query_pct(n, 10, 0.10, p)))
-                .collect();
+        let sweeps: Vec<(String, DurableQuery)> = [0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80]
+            .iter()
+            .map(|&p| (format!("|I|={:.0}%", p * 100.0), query_pct(n, 10, 0.10, p)))
+            .collect();
         sweep_table(&format!("Fig 10 ({name}, n={n}): vary |I|"), &engine, &sweeps, cfg);
     }
 }
@@ -300,11 +295,9 @@ fn fig10(cfg: &Config) {
 fn fig11(cfg: &Config) {
     banner("Fig 11: vary d (Network-X)");
     let base = network_like(cfg.n(50_000), cfg.seed);
-    let mut time_t = TablePrinter::new(vec![
-        "d", "|S|", "T-Base ms", "T-Hop ms", "S-Band ms", "S-Hop ms",
-    ]);
-    let mut q_t =
-        TablePrinter::new(vec!["d", "T-Hop #topk", "S-Band #topk", "S-Hop #topk", "|C|"]);
+    let mut time_t =
+        TablePrinter::new(vec!["d", "|S|", "T-Base ms", "T-Hop ms", "S-Band ms", "S-Hop ms"]);
+    let mut q_t = TablePrinter::new(vec!["d", "T-Hop #topk", "S-Band #topk", "S-Hop #topk", "|C|"]);
     for d in [1usize, 2, 3, 5, 10, 20, 30, 37] {
         let cols: Vec<usize> = (0..d).collect();
         let ds = base.project(&cols);
@@ -340,9 +333,8 @@ fn fig11(cfg: &Config) {
 fn fig12(cfg: &Config) {
     for dist in ["IND", "ANTI"] {
         banner(&format!("Fig 12 ({dist}): scalability"));
-        let mut time_t = TablePrinter::new(vec![
-            "n", "|S|", "S-Base ms", "T-Hop ms", "S-Band ms", "S-Hop ms",
-        ]);
+        let mut time_t =
+            TablePrinter::new(vec!["n", "|S|", "S-Base ms", "T-Hop ms", "S-Band ms", "S-Hop ms"]);
         let mut q_t =
             TablePrinter::new(vec!["n", "T-Hop #topk", "S-Band #topk", "S-Hop #topk", "|C|"]);
         for base in [50_000usize, 100_000, 200_000, 400_000, 800_000] {
@@ -353,8 +345,7 @@ fn fig12(cfg: &Config) {
             let build_s = build.elapsed().as_secs_f64();
             // The paper grows |I| proportionally with n (fixed percentage).
             let q = default_query(n);
-            let algs =
-                [Algorithm::SBase, Algorithm::THop, Algorithm::SBand, Algorithm::SHop];
+            let algs = [Algorithm::SBase, Algorithm::THop, Algorithm::SBand, Algorithm::SHop];
             let ms: Vec<_> = algs.iter().map(|&a| measure(&engine, a, &q, cfg)).collect();
             time_t.row(vec![
                 format!("{n}"),
@@ -470,8 +461,7 @@ fn tab4(cfg: &Config) {
     let n = ds.len();
     // Pool deliberately small relative to the data (the paper's server
     // reads 30 GB through a bounded buffer cache): 64 pages = 512 KiB.
-    let mut store =
-        RelStore::create(store_path("tab4.db"), &ds, 128, 64).expect("create store");
+    let mut store = RelStore::create(store_path("tab4.db"), &ds, 128, 64).expect("create store");
     let scorer = LinearScorer::uniform(2);
     let sweeps: Vec<(String, Window, Time)> = [0.10, 0.20, 0.30, 0.40, 0.50]
         .iter()
@@ -480,20 +470,14 @@ fn tab4(cfg: &Config) {
             (format!("tau={:.0}%", p * 100.0), q.interval, q.tau)
         })
         .collect();
-    store_sweep(
-        &format!("Table IV (stored NBA-2, n={n}): vary tau"),
-        &mut store,
-        &scorer,
-        &sweeps,
-    );
+    store_sweep(&format!("Table IV (stored NBA-2, n={n}): vary tau"), &mut store, &scorer, &sweeps);
 }
 
 /// Table V: DBMS backend, vary |I| on NBA-2.
 fn tab5(cfg: &Config) {
     let ds = nba_x(cfg, 200_000, &["points", "assists"]);
     let n = ds.len();
-    let mut store =
-        RelStore::create(store_path("tab5.db"), &ds, 128, 64).expect("create store");
+    let mut store = RelStore::create(store_path("tab5.db"), &ds, 128, 64).expect("create store");
     let scorer = LinearScorer::uniform(2);
     let sweeps: Vec<(String, Window, Time)> = [0.10, 0.20, 0.30, 0.40, 0.50]
         .iter()
@@ -502,19 +486,13 @@ fn tab5(cfg: &Config) {
             (format!("|I|={:.0}%", p * 100.0), q.interval, q.tau)
         })
         .collect();
-    store_sweep(
-        &format!("Table V (stored NBA-2, n={n}): vary |I|"),
-        &mut store,
-        &scorer,
-        &sweeps,
-    );
+    store_sweep(&format!("Table V (stored NBA-2, n={n}): vary |I|"), &mut store, &scorer, &sweeps);
 }
 
 /// Table VI: DBMS backend at scale (paper: 500M rows / 30 GB; scaled here).
 fn tab6(cfg: &Config) {
     banner("Table VI: stored backend at scale");
-    let mut t =
-        TablePrinter::new(vec!["dataset", "rows", "T-Hop s", "T-Base s", "speedup"]);
+    let mut t = TablePrinter::new(vec!["dataset", "rows", "T-Hop s", "T-Base s", "speedup"]);
     let datasets: Vec<(&str, Dataset)> = vec![
         ("NBA-2", nba_x(cfg, 100_000, &["points", "assists"])),
         ("Syn-IND", ind(cfg.n(2_000_000), 2, cfg.seed)),
@@ -522,9 +500,8 @@ fn tab6(cfg: &Config) {
     ];
     for (name, ds) in datasets {
         let n = ds.len();
-        let mut store =
-            RelStore::create(store_path(&format!("tab6-{name}.db")), &ds, 128, 256)
-                .expect("create store");
+        let mut store = RelStore::create(store_path(&format!("tab6-{name}.db")), &ds, 128, 256)
+            .expect("create store");
         let scorer = LinearScorer::uniform(2);
         let q = default_query(n);
         store.clear_cache().expect("cold cache");
@@ -533,8 +510,7 @@ fn tab6(cfg: &Config) {
         let hop_s = start.elapsed().as_secs_f64();
         store.clear_cache().expect("cold cache");
         let start = Instant::now();
-        let (b, _) =
-            t_base_proc(&mut store, &scorer, q.k, q.interval, q.tau).expect("t-base");
+        let (b, _) = t_base_proc(&mut store, &scorer, q.k, q.interval, q.tau).expect("t-base");
         let base_s = start.elapsed().as_secs_f64();
         assert_eq!(a, b);
         t.row(vec![
@@ -555,8 +531,7 @@ fn lemma4(cfg: &Config) {
     let n = cfg.n(100_000);
     // Adversarial value profile: exponentially spaced (any profile works).
     let values: Vec<f64> = (0..n).map(|i| (i as f64).powf(1.7)).collect();
-    let mut t =
-        TablePrinter::new(vec!["k", "tau", "|I|", "E[|S|] pred", "|S| measured", "ratio"]);
+    let mut t = TablePrinter::new(vec!["k", "tau", "|I|", "E[|S|] pred", "|S| measured", "ratio"]);
     for &k in &[1usize, 5, 10, 25] {
         for &tau_pct in &[0.05f64, 0.10, 0.25] {
             let q = query_pct(n, k, tau_pct, 0.50);

@@ -144,12 +144,7 @@ impl TablePrinter {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
@@ -196,9 +191,10 @@ mod tests {
 
     #[test]
     fn measure_reports_consistent_answer_sizes() {
-        let ds = Dataset::from_rows(2, (0..500).map(|i| {
-            [((i * 13) % 97) as f64, ((i * 29) % 89) as f64]
-        }));
+        let ds = Dataset::from_rows(
+            2,
+            (0..500).map(|i| [((i * 13) % 97) as f64, ((i * 29) % 89) as f64]),
+        );
         let engine = DurableTopKEngine::new(ds).with_skyband_index(16);
         let cfg = Config { reps: 3, ..Default::default() };
         let q = default_query(500);

@@ -27,8 +27,7 @@ impl Args {
         while i < tokens.len() {
             let tok = &tokens[i];
             if let Some(key) = tok.strip_prefix("--") {
-                let next_is_value =
-                    i + 1 < tokens.len() && !tokens[i + 1].starts_with("--");
+                let next_is_value = i + 1 < tokens.len() && !tokens[i + 1].starts_with("--");
                 if next_is_value {
                     args.options.insert(key.to_string(), tokens[i + 1].clone());
                     i += 2;
@@ -65,9 +64,7 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse::<T>()
-                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v.parse::<T>().map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 
@@ -79,9 +76,8 @@ impl Args {
 
 /// Parses `a:b` into an inclusive range.
 pub fn parse_range(s: &str) -> Result<(u32, u32), String> {
-    let (a, b) = s
-        .split_once(':')
-        .ok_or_else(|| format!("range {s:?} must look like start:end"))?;
+    let (a, b) =
+        s.split_once(':').ok_or_else(|| format!("range {s:?} must look like start:end"))?;
     let a: u32 = a.parse().map_err(|_| format!("bad range start {a:?}"))?;
     let b: u32 = b.parse().map_err(|_| format!("bad range end {b:?}"))?;
     if a > b {
@@ -92,9 +88,7 @@ pub fn parse_range(s: &str) -> Result<(u32, u32), String> {
 
 /// Parses `w1,w2,…` into a weight vector.
 pub fn parse_weights(s: &str) -> Result<Vec<f64>, String> {
-    s.split(',')
-        .map(|w| w.trim().parse::<f64>().map_err(|_| format!("bad weight {w:?}")))
-        .collect()
+    s.split(',').map(|w| w.trim().parse::<f64>().map_err(|_| format!("bad weight {w:?}"))).collect()
 }
 
 #[cfg(test)]

@@ -54,13 +54,15 @@ fn main() -> ExitCode {
 }
 
 fn load(args: &Args) -> Result<Dataset, String> {
-    let path = args
-        .positional
-        .first()
-        .ok_or_else(|| "missing input file".to_string())?;
+    let path = args.positional.first().ok_or_else(|| "missing input file".to_string())?;
     let imp = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
     if let Some(cols) = &imp.columns {
-        eprintln!("loaded {} records x {} attributes ({})", imp.dataset.len(), imp.dataset.dim(), cols.join(", "));
+        eprintln!(
+            "loaded {} records x {} attributes ({})",
+            imp.dataset.len(),
+            imp.dataset.dim(),
+            cols.join(", ")
+        );
     } else {
         eprintln!("loaded {} records x {} attributes", imp.dataset.len(), imp.dataset.dim());
     }
@@ -97,10 +99,7 @@ fn generate(args: &Args) -> Result<(), String> {
             (workloads::ind(n, dim, seed), None)
         }
         "anti" => (workloads::anti(n, seed), None),
-        "nba" => (
-            workloads::nba_like(n, seed),
-            Some(workloads::NBA_ATTRIBUTES.to_vec()),
-        ),
+        "nba" => (workloads::nba_like(n, seed), Some(workloads::NBA_ATTRIBUTES.to_vec())),
         "network" => (workloads::network_like(n, seed), None),
         other => return Err(format!("unknown family {other:?}")),
     };
@@ -115,16 +114,26 @@ fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--flag` as a positive integer; the engine asserts positivity, so
+/// catch it here with a proper error instead of a panic.
+fn parse_positive<T>(args: &Args, key: &str, default: T) -> Result<T, String>
+where
+    T: std::str::FromStr + PartialOrd + Default,
+{
+    let v: T = args.parse_or(key, default)?;
+    if v <= T::default() {
+        return Err(format!("--{key} must be at least 1"));
+    }
+    Ok(v)
+}
+
 fn topk(args: &Args) -> Result<(), String> {
     let ds = load(args)?;
-    let k: usize = args.parse_or("k", 10)?;
+    let k: usize = parse_positive(args, "k", 10)?;
     let (a, b) = parse_range(args.require("window")?)?;
     let scorer = scorer_for(args, ds.dim())?;
     let engine = DurableTopKEngine::new(ds);
-    let result = engine
-        .oracle()
-        .tree()
-        .top_k(engine.dataset(), &scorer, k, Window::new(a, b));
+    let result = engine.oracle().tree().top_k(engine.dataset(), &scorer, k, Window::new(a, b));
     println!("top-{k} of [{a}, {b}] (ties of the k-th score included):");
     for (id, score) in result.items {
         println!("  t={id}  score={score:.6}  attrs={:?}", engine.dataset().row(id));
@@ -135,8 +144,8 @@ fn topk(args: &Args) -> Result<(), String> {
 fn query(args: &Args) -> Result<(), String> {
     let ds = load(args)?;
     let n = ds.len() as u32;
-    let k: usize = args.parse_or("k", 10)?;
-    let tau: u32 = args.parse_or("tau", (n / 10).max(1))?;
+    let k: usize = parse_positive(args, "k", 10)?;
+    let tau: u32 = parse_positive(args, "tau", (n / 10).max(1))?;
     let interval = match args.options.get("interval") {
         Some(r) => {
             let (a, b) = parse_range(r)?;

@@ -38,10 +38,8 @@ pub fn s_band<O: TopKOracle + ?Sized>(
 
     let (mut candidates, _k_bar) = index.candidates(interval, tau, k);
     stats.candidates = candidates.len() as u64;
-    let mut scored: Vec<(RecordId, f64)> = candidates
-        .drain(..)
-        .map(|id| (id, scorer.score(ds.row(id))))
-        .collect();
+    let mut scored: Vec<(RecordId, f64)> =
+        candidates.drain(..).map(|id| (id, scorer.score(ds.row(id)))).collect();
     scored.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
     });

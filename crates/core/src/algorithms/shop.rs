@@ -82,8 +82,8 @@ pub fn s_hop<O: TopKOracle + ?Sized>(
     // arena index).
     let mut heap: BinaryHeap<(OrdF64, Reverse<RecordId>, usize)> = BinaryHeap::new();
     let expose = |arena: &mut Vec<MSet>,
-                      heap: &mut BinaryHeap<(OrdF64, Reverse<RecordId>, usize)>,
-                      m: MSet| {
+                  heap: &mut BinaryHeap<(OrdF64, Reverse<RecordId>, usize)>,
+                  m: MSet| {
         if m.cursor < m.items.len() {
             let (id, s) = m.items[m.cursor];
             let j = arena.len();
@@ -216,8 +216,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         for _ in 0..10 {
             let n = rng.random_range(10..300);
-            let rows: Vec<[f64; 1]> =
-                (0..n).map(|_| [rng.random_range(0..12) as f64]).collect();
+            let rows: Vec<[f64; 1]> = (0..n).map(|_| [rng.random_range(0..12) as f64]).collect();
             let ds = Dataset::from_rows(1, rows);
             let oracle = ScanOracle::new();
             let scorer = SingleAttributeScorer::new(0);

@@ -48,9 +48,7 @@ pub fn t_hop<O: TopKOracle + ?Sized>(
             // Hop: the most recent arrival in π≤k. It is strictly earlier
             // than t (t itself is not in π≤k), and every record in between
             // has at least k strictly-better records inside its own window.
-            let hop = pi
-                .max_time()
-                .expect("a non-durable record implies a non-empty top-k set");
+            let hop = pi.max_time().expect("a non-durable record implies a non-empty top-k set");
             debug_assert!(hop < t);
             if hop < interval.start() {
                 break;

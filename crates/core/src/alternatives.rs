@@ -70,10 +70,8 @@ pub fn sliding_topk_union<O: TopKOracle + ?Sized>(
     let interval = interval.clamp_to(ds.len());
     let mut seen = vec![false; ds.len()];
     let mut t = interval.start();
-    let mut buffer = SkybandBuffer::from_result(
-        k,
-        &oracle.top_k(ds, scorer, k, Window::lookback(t, tau)),
-    );
+    let mut buffer =
+        SkybandBuffer::from_result(k, &oracle.top_k(ds, scorer, k, Window::lookback(t, tau)));
     loop {
         for &(id, _) in buffer.items() {
             seen[id as usize] = true;
@@ -143,8 +141,7 @@ mod tests {
         let scorer = SingleAttributeScorer::new(0);
         for k in 1..=3usize {
             for tau in [1u32, 2, 3, 7] {
-                let got =
-                    sliding_topk_union(&ds, &oracle, &scorer, k, Window::new(0, 7), tau);
+                let got = sliding_topk_union(&ds, &oracle, &scorer, k, Window::new(0, 7), tau);
                 let mut expected = vec![false; ds.len()];
                 for t in 0..8u32 {
                     let pi = oracle.top_k(&ds, &scorer, k, Window::lookback(t, tau));
@@ -152,8 +149,7 @@ mod tests {
                         expected[id as usize] = true;
                     }
                 }
-                let expected: Vec<RecordId> =
-                    (0..8).filter(|&i| expected[i as usize]).collect();
+                let expected: Vec<RecordId> = (0..8).filter(|&i| expected[i as usize]).collect();
                 assert_eq!(got, expected, "k={k} tau={tau}");
             }
         }

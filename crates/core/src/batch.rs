@@ -60,10 +60,7 @@ pub fn batch_query<S: OracleScorer + Sync>(
         }
     });
     drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled by the work loop"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every slot filled by the work loop")).collect()
 }
 
 #[cfg(test)]
@@ -72,18 +69,16 @@ mod tests {
     use durable_topk_temporal::{Dataset, LinearScorer, Window};
 
     fn engine(n: usize) -> DurableTopKEngine {
-        let rows: Vec<[f64; 2]> = (0..n)
-            .map(|i| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64])
-            .collect();
+        let rows: Vec<[f64; 2]> =
+            (0..n).map(|i| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64]).collect();
         DurableTopKEngine::new(Dataset::from_rows(2, rows)).with_skyband_index(8)
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let engine = engine(3_000);
-        let scorers: Vec<LinearScorer> = (1..=8)
-            .map(|i| LinearScorer::new(vec![i as f64, (9 - i) as f64]))
-            .collect();
+        let scorers: Vec<LinearScorer> =
+            (1..=8).map(|i| LinearScorer::new(vec![i as f64, (9 - i) as f64])).collect();
         let q = DurableQuery { k: 4, tau: 500, interval: Window::new(1_000, 2_999) };
         for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::SBand] {
             let seq = batch_query(&engine, alg, &scorers, &q, 1);

@@ -35,9 +35,7 @@ pub fn max_duration<O: TopKOracle + ?Sized>(
     let mut probes = 0u64;
     let mut durable_at = |tau: Time| -> bool {
         probes += 1;
-        oracle
-            .top_k(ds, scorer, k, Window::lookback(p, tau))
-            .admits_score(score)
+        oracle.top_k(ds, scorer, k, Window::lookback(p, tau)).admits_score(score)
     };
 
     // Windows clamp at time 0: τ = p.t already covers all of history.

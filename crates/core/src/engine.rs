@@ -143,9 +143,7 @@ impl DurableTopKEngine {
                 s_band(&self.ds, &self.oracle, idx, scorer, query)
             }
             Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK),
-            Algorithm::SHopTop1 => {
-                s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1)
-            }
+            Algorithm::SHopTop1 => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1),
         }
     }
 
@@ -192,12 +190,7 @@ impl DurableTopKEngine {
 
     /// The longest duration for which record `p` stays in the top-k
     /// (look-back), plus the number of top-k probes used.
-    pub fn max_duration(
-        &self,
-        scorer: &dyn OracleScorer,
-        p: RecordId,
-        k: usize,
-    ) -> (Time, u64) {
+    pub fn max_duration(&self, scorer: &dyn OracleScorer, p: RecordId, k: usize) -> (Time, u64) {
         max_duration(&self.ds, &self.oracle, scorer, p, k)
     }
 
@@ -225,9 +218,7 @@ mod tests {
         let rows: Vec<[f64; 2]> = (0..n)
             .map(|_| [rng.random_range(0..vals) as f64, rng.random_range(0..vals) as f64])
             .collect();
-        DurableTopKEngine::new(Dataset::from_rows(2, rows))
-            .with_skyband_index(8)
-            .with_lookahead()
+        DurableTopKEngine::new(Dataset::from_rows(2, rows)).with_skyband_index(8).with_lookahead()
     }
 
     /// Reference implementation: definition-level durability test.
@@ -243,10 +234,7 @@ mod tests {
             .filter(|&t| {
                 let w = anchor.window(t, q.tau).clamp_to(ds.len());
                 let my = scorer.score(ds.row(t));
-                let better = w
-                    .iter()
-                    .filter(|&u| scorer.score(ds.row(u)) > my)
-                    .count();
+                let better = w.iter().filter(|&u| scorer.score(ds.row(u)) > my).count();
                 better < q.k
             })
             .collect()
@@ -271,10 +259,7 @@ mod tests {
                 let expected = brute_durable(engine.dataset(), &scorer, &q, Anchor::LookBack);
                 for alg in Algorithm::ALL {
                     let got = engine.query(alg, &scorer, &q);
-                    assert_eq!(
-                        got.records, expected,
-                        "trial={trial} alg={alg} q={q:?} n={n}"
-                    );
+                    assert_eq!(got.records, expected, "trial={trial} alg={alg} q={q:?} n={n}");
                 }
             }
         }

@@ -22,8 +22,7 @@ use std::cell::Cell;
 pub trait TopKOracle {
     /// Answers `Q(u, k, W)`: the top-k records (with ties of the k-th score)
     /// among records arriving in `w`, best first.
-    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window)
-        -> TopKResult;
+    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult;
 
     /// Number of top-k queries issued since construction or the last
     /// [`reset_counters`](TopKOracle::reset_counters) — the metric every
@@ -61,13 +60,7 @@ impl SegTreeOracle {
 }
 
 impl TopKOracle for SegTreeOracle {
-    fn top_k(
-        &self,
-        ds: &Dataset,
-        scorer: &dyn OracleScorer,
-        k: usize,
-        w: Window,
-    ) -> TopKResult {
+    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult {
         self.tree.top_k(ds, scorer, k, w)
     }
 
@@ -94,13 +87,7 @@ impl ScanOracle {
 }
 
 impl TopKOracle for ScanOracle {
-    fn top_k(
-        &self,
-        ds: &Dataset,
-        scorer: &dyn OracleScorer,
-        k: usize,
-        w: Window,
-    ) -> TopKResult {
+    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult {
         self.queries.set(self.queries.get() + 1);
         scan_top_k(ds, scorer, k, w)
     }

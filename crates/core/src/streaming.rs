@@ -63,13 +63,7 @@ impl StreamingMonitor {
     ///
     /// # Panics
     /// Panics if `k == 0` or the attribute arity mismatches.
-    pub fn push(
-        &mut self,
-        attrs: &[f64],
-        scorer: &dyn OracleScorer,
-        k: usize,
-        tau: Time,
-    ) -> bool {
+    pub fn push(&mut self, attrs: &[f64], scorer: &dyn OracleScorer, k: usize, tau: Time) -> bool {
         assert!(k > 0, "k must be positive");
         let id = self.ds.push(attrs);
         self.index.append(&self.ds);

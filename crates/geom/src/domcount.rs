@@ -239,8 +239,10 @@ mod tests {
 
     #[test]
     fn high_dim_scan_counts() {
-        let ds =
-            Dataset::from_rows(3, [[3.0, 3.0, 3.0], [2.0, 2.0, 2.0], [3.0, 2.0, 4.0], [1.0, 1.0, 1.0]]);
+        let ds = Dataset::from_rows(
+            3,
+            [[3.0, 3.0, 3.0], [2.0, 2.0, 2.0], [3.0, 2.0, 4.0], [1.0, 1.0, 1.0]],
+        );
         assert_eq!(past_dominator_counts(&ds), vec![0, 1, 0, 3]);
     }
 }

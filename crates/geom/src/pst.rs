@@ -52,12 +52,8 @@ impl PrioritySearchTree {
         // The subtree root is the max-y point; remaining points split at the
         // x-median. `Vec::remove` is linear, but summed over a level it is
         // O(n), giving O(n log n) total.
-        let best = pts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, p)| p.y)
-            .map(|(i, _)| i)
-            .expect("non-empty");
+        let best =
+            pts.iter().enumerate().max_by_key(|(_, p)| p.y).map(|(i, _)| i).expect("non-empty");
         let point = pts.remove(best);
         let idx = self.nodes.len() as i32;
         self.nodes.push(Node { point, left: -1, right: -1, min_x, max_x });

@@ -164,9 +164,7 @@ mod tests {
                 let mut best: u32 = DURATION_UNBOUNDED;
                 for tau in 0..n as u32 {
                     let lo = p.saturating_sub(tau);
-                    let doms = (lo..p)
-                        .filter(|&j| dominates(ds.row(j), ds.row(p)))
-                        .count();
+                    let doms = (lo..p).filter(|&j| dominates(ds.row(j), ds.row(p))).count();
                     if doms >= k {
                         best = tau - 1;
                         break;
@@ -208,10 +206,7 @@ mod tests {
         assert_eq!(d1, vec![DURATION_UNBOUNDED, 0, DURATION_UNBOUNDED, 0]);
         let d2 = skyband_durations(&ds, 2);
         // t3's 2nd most recent dominator is t1 -> τ = 3 - 1 - 1 = 1.
-        assert_eq!(
-            d2,
-            vec![DURATION_UNBOUNDED, DURATION_UNBOUNDED, DURATION_UNBOUNDED, 1]
-        );
+        assert_eq!(d2, vec![DURATION_UNBOUNDED, DURATION_UNBOUNDED, DURATION_UNBOUNDED, 1]);
     }
 
     #[test]
@@ -258,9 +253,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for d in [2usize, 3] {
             let n = 120;
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..d).map(|_| rng.random_range(0..9) as f64).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..d).map(|_| rng.random_range(0..9) as f64).collect()).collect();
             let ds = Dataset::from_rows(d, rows);
             let ks = [1usize, 2, 4, 8];
             let multi = skyband_durations_multi(&ds, &ks);

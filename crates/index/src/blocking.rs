@@ -93,11 +93,7 @@ impl BlockingSet {
             score == self.tie_score,
             "probe score above an inserted level violates descending-order use"
         );
-        let tied_covering = self
-            .tie_lefts
-            .iter()
-            .filter(|&&l| l as usize >= lo && l <= t)
-            .count();
+        let tied_covering = self.tie_lefts.iter().filter(|&&l| l as usize >= lo && l <= t).count();
         all - tied_covering
     }
 
@@ -131,8 +127,9 @@ mod tests {
         let mut b = BlockingSet::new(50, 5);
         b.insert(0, 7.0);
         b.insert(2, 7.0);
-        b.insert(3, 6.0); // new minimum level
-        // Probe at the tied level 6.0: only the two 7.0 intervals count.
+        // Insert a new minimum level, then probe at the tied level 6.0:
+        // only the two 7.0 intervals count.
+        b.insert(3, 6.0);
         assert_eq!(b.coverage_above(4, 6.0), 2);
         // Probe below every level: everything counts.
         assert_eq!(b.coverage_above(4, 5.9), 3);

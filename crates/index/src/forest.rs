@@ -71,11 +71,7 @@ impl AppendableTopKIndex {
     /// Panics unless `ds.len() == self.len() + 1` — exactly one new record
     /// must have been pushed to the dataset since the last append/build.
     pub fn append(&mut self, ds: &Dataset) {
-        assert_eq!(
-            ds.len(),
-            self.n + 1,
-            "append expects exactly one new record in the dataset"
-        );
+        assert_eq!(ds.len(), self.n + 1, "append expects exactly one new record in the dataset");
         let t = self.n as Time;
         self.trees.push(SkylineSegTree::build_over(ds, t, t, self.leaf_size));
         self.n += 1;
@@ -119,7 +115,6 @@ impl AppendableTopKIndex {
         }
         TopKResult::finalize(candidates, k)
     }
-
 }
 
 #[cfg(test)]

@@ -204,8 +204,7 @@ impl TopKResult {
         candidates.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
         });
-        let kth_score =
-            if candidates.len() >= k { candidates[k - 1].1 } else { f64::NEG_INFINITY };
+        let kth_score = if candidates.len() >= k { candidates[k - 1].1 } else { f64::NEG_INFINITY };
         candidates.retain(|&(_, s)| s >= kth_score);
         Self { items: candidates, kth_score }
     }
@@ -508,9 +507,8 @@ mod tests {
     use rand::prelude::*;
 
     fn random_dataset(rng: &mut StdRng, n: usize, d: usize, vals: u32) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..d).map(|_| rng.random_range(0..vals) as f64).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.random_range(0..vals) as f64).collect()).collect();
         Dataset::from_rows(d, rows)
     }
 
@@ -602,11 +600,7 @@ mod tests {
                 let k = rng.random_range(1..6);
                 let u: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
                 let scorer = LinearScorer::new(u);
-                assert_eq!(
-                    tree.top_k(&ds, &scorer, k, w),
-                    scan_top_k(&ds, &scorer, k, w),
-                    "d={d}"
-                );
+                assert_eq!(tree.top_k(&ds, &scorer, k, w), scan_top_k(&ds, &scorer, k, w), "d={d}");
             }
         }
     }
@@ -618,8 +612,7 @@ mod tests {
             let n = rng.random_range(2..200);
             let ds = random_dataset(&mut rng, n, 3, 9);
             let tree = SkylineSegTree::with_leaf_size(&ds, 4);
-            let mut u: Vec<f64> =
-                (0..3).map(|_| rng.random::<f64>() * 2.0 - 0.5).collect();
+            let mut u: Vec<f64> = (0..3).map(|_| rng.random::<f64>() * 2.0 - 0.5).collect();
             if u.iter().all(|&w| w == 0.0) {
                 u[0] = 1.0;
             }
@@ -646,10 +639,7 @@ mod tests {
             let a = rng.random_range(0..300 as Time);
             let b = rng.random_range(0..300 as Time);
             let w = Window::new(a.min(b), a.max(b));
-            assert_eq!(
-                tree.top_k(&ds, &scorer, 3, w),
-                scan_top_k(&ds, &scorer, 3, w)
-            );
+            assert_eq!(tree.top_k(&ds, &scorer, 3, w), scan_top_k(&ds, &scorer, 3, w));
         }
     }
 

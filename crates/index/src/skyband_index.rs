@@ -78,11 +78,8 @@ impl DurableSkybandIndex {
             .find(|&&(lk, _)| lk == k_bar)
             .expect("level_for returned an existing level")
             .1;
-        let ids = pst
-            .query(interval.start(), interval.end(), tau)
-            .into_iter()
-            .map(|p| p.id)
-            .collect();
+        let ids =
+            pst.query(interval.start(), interval.end(), tau).into_iter().map(|p| p.id).collect();
         (ids, k_bar)
     }
 
@@ -125,9 +122,8 @@ mod tests {
                 let (mut got, used) = idx.candidates(interval, tau, k);
                 assert_eq!(used, k_bar);
                 got.sort_unstable();
-                let expected: Vec<RecordId> = (30..=120u32)
-                    .filter(|&i| durs[i as usize] >= tau)
-                    .collect();
+                let expected: Vec<RecordId> =
+                    (30..=120u32).filter(|&i| durs[i as usize] >= tau).collect();
                 assert_eq!(got, expected, "k={k} tau={tau}");
             }
         }

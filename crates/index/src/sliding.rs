@@ -69,9 +69,7 @@ impl SkybandBuffer {
         if score < self.kth_score() {
             return;
         }
-        let pos = self
-            .items
-            .partition_point(|&(i, s)| s > score || (s == score && i < id));
+        let pos = self.items.partition_point(|&(i, s)| s > score || (s == score && i < id));
         self.items.insert(pos, (id, score));
         let kth = self.kth_score();
         self.items.retain(|&(_, s)| s >= kth);

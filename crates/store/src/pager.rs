@@ -56,12 +56,8 @@ impl BufferPool {
     /// Panics if `capacity == 0`.
     pub fn create<P: AsRef<Path>>(path: P, capacity: usize) -> io::Result<Self> {
         assert!(capacity > 0, "buffer pool needs at least one frame");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Self {
             file,
             frames: Vec::with_capacity(capacity),
@@ -168,8 +164,7 @@ impl BufferPool {
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let take = (PAGE_SIZE - in_page).min(buf.len() - done);
             let idx = self.frame_for(page)?;
-            buf[done..done + take]
-                .copy_from_slice(&self.frames[idx].data[in_page..in_page + take]);
+            buf[done..done + take].copy_from_slice(&self.frames[idx].data[in_page..in_page + take]);
             done += take;
         }
         Ok(())
@@ -184,8 +179,7 @@ impl BufferPool {
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let take = (PAGE_SIZE - in_page).min(buf.len() - done);
             let idx = self.frame_for(page)?;
-            self.frames[idx].data[in_page..in_page + take]
-                .copy_from_slice(&buf[done..done + take]);
+            self.frames[idx].data[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
             self.frames[idx].dirty = true;
             done += take;
         }

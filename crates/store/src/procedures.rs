@@ -113,10 +113,8 @@ pub fn t_base_proc(
         t -= 1;
         if buffer.contains(expiring) {
             stats.topk_queries += 1;
-            buffer = SkybandBuffer::from_result(
-                k,
-                &store.top_k(scorer, k, Window::lookback(t, tau))?,
-            );
+            buffer =
+                SkybandBuffer::from_result(k, &store.top_k(scorer, k, Window::lookback(t, tau))?);
         } else if t >= tau {
             let incoming = t - tau;
             store.read_row(incoming, &mut row)?;
@@ -141,16 +139,19 @@ mod tests {
         dir.join(name)
     }
 
-    fn brute_durable(ds: &Dataset, scorer: &dyn Scorer, k: usize, i: Window, tau: Time) -> Vec<RecordId> {
+    fn brute_durable(
+        ds: &Dataset,
+        scorer: &dyn Scorer,
+        k: usize,
+        i: Window,
+        tau: Time,
+    ) -> Vec<RecordId> {
         i.iter()
             .filter(|&t| {
                 let w = Window::lookback(t, tau);
                 let my = scorer.score(ds.row(t));
-                let better = w
-                    .clamp_to(ds.len())
-                    .iter()
-                    .filter(|&u| scorer.score(ds.row(u)) > my)
-                    .count();
+                let better =
+                    w.clamp_to(ds.len()).iter().filter(|&u| scorer.score(ds.row(u)) > my).count();
                 better < k
             })
             .collect()
@@ -178,9 +179,8 @@ mod tests {
     #[test]
     fn thop_does_less_io_than_tbase() {
         let mut rng = StdRng::seed_from_u64(56);
-        let rows: Vec<[f64; 2]> = (0..40_000)
-            .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
-            .collect();
+        let rows: Vec<[f64; 2]> =
+            (0..40_000).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
         let ds = Dataset::from_rows(2, rows);
         let mut store = RelStore::create(tmp("io.db"), &ds, 128, 96).expect("create");
         let scorer = LinearScorer::uniform(2);

@@ -128,12 +128,7 @@ impl RelStore {
     /// # Panics
     /// Panics if `k == 0` or the scorer is not monotone (the stored index
     /// carries only skylines, which bound monotone scorers exactly).
-    pub fn top_k(
-        &mut self,
-        scorer: &dyn Scorer,
-        k: usize,
-        w: Window,
-    ) -> io::Result<TopKResult> {
+    pub fn top_k(&mut self, scorer: &dyn Scorer, k: usize, w: Window) -> io::Result<TopKResult> {
         assert!(k > 0, "k must be positive");
         assert!(scorer.is_monotone(), "the stored index supports monotone scorers");
         let n = self.table.len();
@@ -151,15 +146,11 @@ impl RelStore {
         // Extract max-bound entries until the bound falls below the running
         // k-th best score (small PQ; linear extract keeps the code free of
         // one more OrdF64 wrapper).
-        while let Some(pos) = pq
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-            .map(|(i, _)| i)
+        while let Some(pos) =
+            pq.iter().enumerate().max_by(|a, b| a.1 .0.total_cmp(&b.1 .0)).map(|(i, _)| i)
         {
             let (bound, off, lo, hi) = pq.swap_remove(pos);
-            let threshold =
-                if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
+            let threshold = if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
             if bound < threshold {
                 break;
             }
@@ -168,8 +159,7 @@ impl RelStore {
                 for id in lo..=hi {
                     self.table.read_row(&mut self.pool, id, &mut row)?;
                     let s = scorer.score(&row);
-                    let threshold =
-                        if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
+                    let threshold = if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
                     if s >= threshold {
                         candidates.push((id, s));
                         insert_best(&mut best, k, s);
@@ -221,12 +211,7 @@ impl RelStore {
     }
 
     /// Max score over the node's inlined skyline entries.
-    fn node_bound(
-        &mut self,
-        off: u64,
-        node: &NodeHeader,
-        scorer: &dyn Scorer,
-    ) -> io::Result<f64> {
+    fn node_bound(&mut self, off: u64, node: &NodeHeader, scorer: &dyn Scorer) -> io::Result<f64> {
         let d = self.table.dim();
         let entry = 4 + 8 * d;
         let mut buf = vec![0u8; node.sky_len as usize * entry];

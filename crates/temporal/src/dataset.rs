@@ -216,10 +216,7 @@ impl Dataset {
         Dataset {
             dim: self.dim,
             attrs: out,
-            wall_clock: self
-                .wall_clock
-                .as_ref()
-                .map(|wc| wc.iter().rev().copied().collect()),
+            wall_clock: self.wall_clock.as_ref().map(|wc| wc.iter().rev().copied().collect()),
         }
     }
 

@@ -17,9 +17,23 @@ pub enum CsvError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A cell failed to parse as a number.
-    Parse { line: usize, column: usize, cell: String },
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// 0-based column index of the offending cell.
+        column: usize,
+        /// The raw cell contents.
+        cell: String,
+    },
     /// A row's arity differs from the first row's.
-    Arity { line: usize, expected: usize, got: usize },
+    Arity {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Column count established by the first row.
+        expected: usize,
+        /// Column count actually found.
+        got: usize,
+    },
     /// The input contains no data rows.
     Empty,
 }
@@ -79,9 +93,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<CsvImport, CsvError> {
         if dataset.is_none() && columns.is_none() {
             // First contentful row: header iff any cell is non-numeric.
             if cells.iter().any(|c| c.parse::<f64>().is_err()) {
-                time_column = cells
-                    .first()
-                    .is_some_and(|c| c.eq_ignore_ascii_case("t"));
+                time_column = cells.first().is_some_and(|c| c.eq_ignore_ascii_case("t"));
                 let names: Vec<String> = if time_column {
                     cells[1..].iter().map(|s| s.to_string()).collect()
                 } else {
@@ -103,11 +115,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<CsvImport, CsvError> {
             dataset = Some(Dataset::new(dim));
         }
         if cells.len() != expected {
-            return Err(CsvError::Arity {
-                line: lineno + 1,
-                expected,
-                got: cells.len(),
-            });
+            return Err(CsvError::Arity { line: lineno + 1, expected, got: cells.len() });
         }
         let parse = |idx: usize| -> Result<f64, CsvError> {
             cells[idx].parse::<f64>().map_err(|_| CsvError::Parse {
@@ -119,8 +127,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<CsvImport, CsvError> {
         let ds = dataset.as_mut().expect("initialized above");
         if time_column {
             let wall = parse(0)? as i64;
-            let attrs: Vec<f64> =
-                (1..expected).map(parse).collect::<Result<_, _>>()?;
+            let attrs: Vec<f64> = (1..expected).map(parse).collect::<Result<_, _>>()?;
             ds.push_with_wall_clock(&attrs, wall);
         } else {
             let attrs: Vec<f64> = (0..expected).map(parse).collect::<Result<_, _>>()?;
@@ -184,7 +191,10 @@ mod tests {
         let mut out = Vec::new();
         write_csv(&mut out, &ds, Some(&["points", "assists"])).expect("write");
         let imported = read_csv(&out[..]).expect("read");
-        assert_eq!(imported.columns.as_deref(), Some(&["points".to_string(), "assists".to_string()][..]));
+        assert_eq!(
+            imported.columns.as_deref(),
+            Some(&["points".to_string(), "assists".to_string()][..])
+        );
         assert_eq!(imported.dataset.raw_attrs(), ds.raw_attrs());
     }
 

@@ -65,13 +65,14 @@ pub fn nba_like(n: usize, seed: u64) -> Dataset {
         // Era pace multipliers.
         let rebound_era = 1.15 - 0.35 * gaussian_bump(era, 0.62, 0.18); // 2000s trough
         let three_era = 0.35 + 1.9 * era * era; // late boom
-        let scoring_era = 1.0 + 0.15 * gaussian_bump(era, 0.1, 0.2)
-            + 0.2 * gaussian_bump(era, 0.95, 0.15);
+        let scoring_era =
+            1.0 + 0.15 * gaussian_bump(era, 0.1, 0.2) + 0.2 * gaussian_bump(era, 0.95, 0.15);
 
         // Player skill: log-normal-ish mixture; rare superstars.
         let skill = {
             let base: f64 = rng.random::<f64>();
-            let star_bonus = if rng.random::<f64>() < 0.03 { rng.random::<f64>() * 1.5 } else { 0.0 };
+            let star_bonus =
+                if rng.random::<f64>() < 0.03 { rng.random::<f64>() * 1.5 } else { 0.0 };
             0.25 + base + star_bonus
         };
         let minutes = (8.0 + 34.0 * (skill / 2.75).min(1.0) * rng.random::<f64>().sqrt()).min(48.0);
@@ -93,13 +94,27 @@ pub fn nba_like(n: usize, seed: u64) -> Dataset {
         let turnovers = draw_count(&mut rng, 2.5 * usage);
         let fouls = draw_count(&mut rng, 2.8 * usage).min(6.0);
         let plus_minus = (rng.random::<f64>() * 2.0 - 1.0) * 18.0 * usage + 2.0 * (skill - 1.0);
-        let efficiency = points + rebounds + assists + steals + blocks - turnovers
+        let efficiency = points + rebounds + assists + steals + blocks
+            - turnovers
             - (fga - fgm).max(0.0)
             - (fta - ftm).max(0.0);
 
         row = [
-            points, assists, rebounds, steals, blocks, threes, fgm, fga, ftm, fta, turnovers,
-            fouls, minutes.round(), plus_minus.round(), efficiency,
+            points,
+            assists,
+            rebounds,
+            steals,
+            blocks,
+            threes,
+            fgm,
+            fga,
+            ftm,
+            fta,
+            turnovers,
+            fouls,
+            minutes.round(),
+            plus_minus.round(),
+            efficiency,
         ];
         ds.push(&row);
     }

@@ -67,8 +67,7 @@ pub fn network_like(n: usize, seed: u64) -> Dataset {
         // Rate features: correlated with the burst state plus noise.
         for (j, cell) in row.iter_mut().enumerate().take(17).skip(5) {
             let base: f64 = rng.random::<f64>();
-            *cell = (base * 0.6 + if attacking { 0.4 * intensity.min(1.0) } else { 0.0 })
-                .min(1.0)
+            *cell = (base * 0.6 + if attacking { 0.4 * intensity.min(1.0) } else { 0.0 }).min(1.0)
                 * (1.0 + 0.1 * j as f64);
         }
 
@@ -151,9 +150,6 @@ mod tests {
         let low = k_skyband(&ds.project(&[0, 1]), &ids, 2).len();
         let high_dims: Vec<usize> = (0..20).collect();
         let high = k_skyband(&ds.project(&high_dims), &ids, 2).len();
-        assert!(
-            high > 5 * low,
-            "20-d skyband ({high}) should dwarf 2-d skyband ({low})"
-        );
+        assert!(high > 5 * low, "20-d skyband ({high}) should dwarf 2-d skyband ({low})");
     }
 }

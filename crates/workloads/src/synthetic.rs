@@ -107,7 +107,12 @@ mod tests {
         let ids: Vec<u32> = (0..ds.len() as u32).collect();
         let band = k_skyband(&ds, &ids, 3);
         let anti_band = k_skyband(&anti(2_000, 4), &ids, 3);
-        assert!(band.len() * 5 < anti_band.len(), "CORR {} vs ANTI {}", band.len(), anti_band.len());
+        assert!(
+            band.len() * 5 < anti_band.len(),
+            "CORR {} vs ANTI {}",
+            band.len(),
+            anti_band.len()
+        );
     }
 
     #[test]
@@ -119,9 +124,6 @@ mod tests {
         let ind_ds = ind(n, 2, 3);
         let anti_band = k_skyband(&anti_ds, &ids, 3).len();
         let ind_band = k_skyband(&ind_ds, &ids, 3).len();
-        assert!(
-            anti_band > 3 * ind_band,
-            "ANTI skyband {anti_band} should dwarf IND {ind_band}"
-        );
+        assert!(anti_band > 3 * ind_band, "ANTI skyband {anti_band} should dwarf IND {ind_band}");
     }
 }

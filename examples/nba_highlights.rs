@@ -19,16 +19,15 @@ fn main() {
     let per_season = n / seasons;
     let engine = DurableTopKEngine::new(ds);
     let scorer = SingleAttributeScorer::new(0);
-    let tau = 5 * per_season; // a 5-season durability window
-    // Start the query interval one window in, so every claim has a full
-    // 5 seasons of history behind it.
+    // A 5-season durability window. Start the query interval one window in,
+    // so every claim has a full 5 seasons of history behind it.
+    let tau = 5 * per_season;
     let interval = Window::new(tau, n - 1);
 
     let season_of = |t: u32| 1984 + (t / per_season).min(seasons - 1);
 
     println!("== durable top-1 rebounds, 5-season look-back window ==");
-    let durable =
-        engine.query(Algorithm::THop, &scorer, &DurableQuery { k: 1, tau, interval });
+    let durable = engine.query(Algorithm::THop, &scorer, &DurableQuery { k: 1, tau, interval });
     for &id in &durable.records {
         let (dur, _) = engine.max_duration(&scorer, id, 1);
         let years = dur as f64 / per_season as f64;
@@ -42,8 +41,15 @@ fn main() {
     }
 
     println!("\n== tumbling-window top-1 (5-season grid) ==");
-    let grid0 =
-        alternatives::tumbling_topk(engine.dataset(), engine.oracle(), &scorer, 1, interval, tau, 0);
+    let grid0 = alternatives::tumbling_topk(
+        engine.dataset(),
+        engine.oracle(),
+        &scorer,
+        1,
+        interval,
+        tau,
+        0,
+    );
     let grid1 = alternatives::tumbling_topk(
         engine.dataset(),
         engine.oracle(),

@@ -19,8 +19,9 @@ fn main() {
     let n = ds.len() as u32;
     let engine = DurableTopKEngine::new(ds).with_skyband_index(16);
 
-    let tau = n / 20; // a session must dominate ~5% of history around it
-    // Skip the first window so early sessions are not trivially durable.
+    // A session must dominate ~5% of history around it. Skip the first
+    // window so early sessions are not trivially durable.
+    let tau = n / 20;
     let interval = Window::new(tau, n - 1);
 
     // Analyst preference #1: exfiltration-shaped (bytes-heavy).
@@ -40,7 +41,8 @@ fn main() {
         // Show the strongest alerts (highest-scoring durable sessions).
         let mut ranked: Vec<u32> = result.records.clone();
         ranked.sort_by(|&a, &b| {
-            let (sa, sb) = (scorer.score(engine.dataset().row(a)), scorer.score(engine.dataset().row(b)));
+            let (sa, sb) =
+                (scorer.score(engine.dataset().row(a)), scorer.score(engine.dataset().row(b)));
             sb.partial_cmp(&sa).expect("no NaN")
         });
         for &id in ranked.iter().take(4) {

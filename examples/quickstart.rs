@@ -23,7 +23,7 @@ fn main() {
     //    function's preference vector u.
     let query = DurableQuery {
         k: 10,
-        tau: (n / 10) as u32,                          // τ = 10% of history
+        tau: (n / 10) as u32, // τ = 10% of history
         interval: Window::new((n / 2) as u32, (n - 1) as u32), // most recent half
     };
     let scorer = LinearScorer::new(vec![0.7, 0.3]);

@@ -24,10 +24,8 @@ fn main() {
         // A slowly drifting signal with occasional spikes.
         let drift = (i as f64 / total as f64) * 3.0;
         let spike = if rng.random::<f64>() < 5e-4 { 20.0 * rng.random::<f64>() } else { 0.0 };
-        let attrs = [
-            drift + rng.random::<f64>() * 4.0 + spike,
-            rng.random::<f64>() * 6.0 + spike * 0.5,
-        ];
+        let attrs =
+            [drift + rng.random::<f64>() * 4.0 + spike, rng.random::<f64>() * 6.0 + spike * 0.5];
         // `push` indexes the record and answers "is this a τ-durable
         // top-k record as of right now?" in one call.
         if monitor.push(&attrs, &scorer, k, tau) {

@@ -66,9 +66,8 @@ fn agreement_on_network_5d() {
 fn agreement_on_tie_heavy_data() {
     // Tiny value alphabet: nearly every score collides.
     let mut rng = StdRng::seed_from_u64(15);
-    let rows: Vec<[f64; 2]> = (0..500)
-        .map(|_| [rng.random_range(0..3) as f64, rng.random_range(0..3) as f64])
-        .collect();
+    let rows: Vec<[f64; 2]> =
+        (0..500).map(|_| [rng.random_range(0..3) as f64, rng.random_range(0..3) as f64]).collect();
     check_all(Dataset::from_rows(2, rows), 15, 8);
 }
 

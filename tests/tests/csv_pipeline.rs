@@ -16,10 +16,7 @@ fn csv_roundtrip_preserves_query_answers() {
     let path = tmp("nba.csv");
     write_csv_file(&path, &ds, Some(&NBA_ATTRIBUTES)).expect("export");
     let imported = read_csv_file(&path).expect("import");
-    assert_eq!(
-        imported.columns.as_deref().map(|c| c.len()),
-        Some(NBA_ATTRIBUTES.len())
-    );
+    assert_eq!(imported.columns.as_deref().map(|c| c.len()), Some(NBA_ATTRIBUTES.len()));
     assert_eq!(imported.dataset.len(), ds.len());
 
     let q = DurableQuery { k: 5, tau: 400, interval: Window::new(500, 2_999) };
@@ -31,8 +28,7 @@ fn csv_roundtrip_preserves_query_answers() {
     };
     let scorer = LinearScorer::new(weights);
     let original = DurableTopKEngine::new(ds).query(Algorithm::SHop, &scorer, &q);
-    let roundtrip =
-        DurableTopKEngine::new(imported.dataset).query(Algorithm::SHop, &scorer, &q);
+    let roundtrip = DurableTopKEngine::new(imported.dataset).query(Algorithm::SHop, &scorer, &q);
     assert_eq!(original.records, roundtrip.records);
 }
 

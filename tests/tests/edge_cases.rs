@@ -1,8 +1,8 @@
 //! Edge cases, failure paths, and non-monotone scorer coverage.
 
 use durable_topk::{
-    Algorithm, CosineScorer, DurableQuery, DurableTopKEngine, LinearScorer, ScanOracle,
-    Scorer, TopKOracle, Window,
+    Algorithm, CosineScorer, DurableQuery, DurableTopKEngine, LinearScorer, ScanOracle, Scorer,
+    TopKOracle, Window,
 };
 use durable_topk_temporal::Dataset;
 
@@ -26,7 +26,11 @@ fn interval_of_one_instant() {
         let q = DurableQuery { k: 2, tau: 10, interval: Window::new(t, t) };
         let reference = engine.query(Algorithm::TBase, &scorer, &q);
         for alg in Algorithm::ALL {
-            assert_eq!(engine.query(alg, &scorer, &q).records, reference.records, "t={t} alg={alg}");
+            assert_eq!(
+                engine.query(alg, &scorer, &q).records,
+                reference.records,
+                "t={t} alg={alg}"
+            );
         }
     }
 }
@@ -122,9 +126,10 @@ fn zero_vectors_with_cosine() {
 #[test]
 fn negative_cosine_weights_supported() {
     // Cosine allows signed preferences ("like x0, dislike x1").
-    let ds = Dataset::from_rows(2, (0..200).map(|i| {
-        [((i * 3) % 11) as f64 + 1.0, ((i * 5) % 7) as f64 + 1.0]
-    }));
+    let ds = Dataset::from_rows(
+        2,
+        (0..200).map(|i| [((i * 3) % 11) as f64 + 1.0, ((i * 5) % 7) as f64 + 1.0]),
+    );
     let engine = DurableTopKEngine::new(ds);
     let scorer = CosineScorer::new(vec![1.0, -1.0]);
     let scan = ScanOracle::new();

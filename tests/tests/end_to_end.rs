@@ -20,7 +20,9 @@ fn stored_procedures_match_in_memory_engine() {
     let engine = DurableTopKEngine::new(ds.clone());
     let mut store = RelStore::create(tmp("e2e.db"), &ds, 64, 128).expect("create");
     let scorer = LinearScorer::new(vec![0.3, 0.7]);
-    for (k, tau, lo, hi) in [(1usize, 100u32, 500u32, 3999u32), (5, 800, 0, 3999), (10, 2000, 2000, 3500)] {
+    for (k, tau, lo, hi) in
+        [(1usize, 100u32, 500u32, 3999u32), (5, 800, 0, 3999), (10, 2000, 2000, 3500)]
+    {
         let q = DurableQuery { k, tau, interval: Window::new(lo, hi) };
         let mem = engine.query(Algorithm::THop, &scorer, &q);
         let (hop, _) = t_hop_proc(&mut store, &scorer, k, q.interval, tau).expect("t-hop");
@@ -134,15 +136,12 @@ fn selectivity_monotonicity() {
     let engine = DurableTopKEngine::new(ds);
     let scorer = LinearScorer::uniform(2);
     let interval = Window::new(2_000, 4_999);
-    let base = engine
-        .query(Algorithm::THop, &scorer, &DurableQuery { k: 5, tau: 200, interval })
-        .records;
-    let longer_tau = engine
-        .query(Algorithm::THop, &scorer, &DurableQuery { k: 5, tau: 800, interval })
-        .records;
-    let smaller_k = engine
-        .query(Algorithm::THop, &scorer, &DurableQuery { k: 2, tau: 200, interval })
-        .records;
+    let base =
+        engine.query(Algorithm::THop, &scorer, &DurableQuery { k: 5, tau: 200, interval }).records;
+    let longer_tau =
+        engine.query(Algorithm::THop, &scorer, &DurableQuery { k: 5, tau: 800, interval }).records;
+    let smaller_k =
+        engine.query(Algorithm::THop, &scorer, &DurableQuery { k: 2, tau: 200, interval }).records;
     assert!(longer_tau.iter().all(|r| base.contains(r)));
     assert!(smaller_k.iter().all(|r| base.contains(r)));
     assert!(longer_tau.len() <= base.len());

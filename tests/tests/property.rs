@@ -10,8 +10,7 @@ fn dataset_strategy(max_n: usize, d: usize, vals: u32) -> impl Strategy<Value = 
     prop::collection::vec(prop::collection::vec(0..vals, d), 1..max_n).prop_map(move |rows| {
         Dataset::from_rows(
             d,
-            rows.into_iter()
-                .map(|r| r.into_iter().map(|v| v as f64).collect::<Vec<_>>()),
+            rows.into_iter().map(|r| r.into_iter().map(|v| v as f64).collect::<Vec<_>>()),
         )
     })
 }

@@ -37,8 +37,8 @@ fn results_identical_under_extreme_memory_pressure() {
     let roomy_answers = {
         let mut store = RelStore::create(&path, &ds, 32, 256).expect("create");
         let scorer = LinearScorer::uniform(2);
-        let (a, _) = t_hop_proc(&mut store, &scorer, 5, Window::new(500, 1_999), 300)
-            .expect("t-hop");
+        let (a, _) =
+            t_hop_proc(&mut store, &scorer, 5, Window::new(500, 1_999), 300).expect("t-hop");
         a
     };
     let mut tiny = RelStore::open(&path, 1).expect("open with one frame");
@@ -58,8 +58,8 @@ fn reopened_store_equals_fresh_store() {
     let scorer = LinearScorer::new(vec![0.2, 0.8]);
     let fresh = {
         let mut store = RelStore::create(&path, &ds, 64, 64).expect("create");
-        let (a, _) = t_base_proc(&mut store, &scorer, 3, Window::new(200, 1_499), 150)
-            .expect("t-base");
+        let (a, _) =
+            t_base_proc(&mut store, &scorer, 3, Window::new(200, 1_499), 150).expect("t-base");
         a
     };
     let mut reopened = RelStore::open(&path, 64).expect("open");
@@ -105,8 +105,7 @@ fn stored_and_memory_answers_agree_under_every_pool_size() {
     for pool_pages in [1usize, 2, 8, 64, 1024] {
         let path = tmp(&format!("pool{pool_pages}.db"));
         let mut store = RelStore::create(&path, &ds, 16, pool_pages).expect("create");
-        let (a, _) =
-            t_hop_proc(&mut store, &scorer, 4, Window::new(100, 799), 100).expect("t-hop");
+        let (a, _) = t_hop_proc(&mut store, &scorer, 4, Window::new(100, 799), 100).expect("t-hop");
         assert_eq!(a, reference, "pool_pages={pool_pages}");
     }
 }

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples of adaptively chosen iteration
+//! counts, and the per-iteration minimum / mean are printed as text. There
+//! are no plots, no statistics files, and no regression analysis — enough
+//! to compare hot paths locally and to keep `cargo bench --no-run` honest
+//! in CI.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard compiler-fence helper used to defeat
+/// dead-code elimination in benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+    /// When true (`cargo test --benches` passes `--test`), every benchmark
+    /// body runs exactly once, as a smoke test.
+    test_mode: bool,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignore them.
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { default_sample_size: 10, test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size, criterion: self }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let id = id.into();
+        self.run_one(&id.render(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher =
+            Bencher { iters: 1, elapsed: Duration::ZERO, test_mode: self.test_mode, sample_size };
+        f(&mut bencher);
+        bencher.report(label);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&label, sample_size, f);
+        self
+    }
+
+    /// Registers and runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A function/parameter pair naming one benchmark.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Names a benchmark `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Names a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> BenchmarkId {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> BenchmarkId {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// Times a closure over a chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the total elapsed time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            self.iters = 1;
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed = start.elapsed();
+            return;
+        }
+        // Calibrate: aim for samples of at least ~2 ms each, capped so cheap
+        // closures do not spin forever.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            ((Duration::from_millis(2).as_nanos() / probe.as_nanos()).clamp(1, 10_000)) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += per_sample;
+        }
+        self.iters = iters;
+        self.elapsed = total;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<48} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("{label:<48} {:>12.0} ns/iter ({} iters)", per_iter, self.iters);
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Criterion benchmark group entry point."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

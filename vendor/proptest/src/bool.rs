@@ -1,0 +1,20 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::prelude::*;
+
+/// Strategy generating `true` and `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The uniform boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.rng.random()
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro with `#![proptest_config(..)]`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! [`Strategy::prop_map`], and the `prop_assert!` / `prop_assert_eq!`
+//! macros. Cases are generated from a deterministic per-test RNG; there is
+//! no shrinking — a failing case panics with its case number and message,
+//! and reruns reproduce it exactly.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!($fmt $(, $args)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body; both sides are captured in
+/// the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!(
+            $left,
+            $right,
+            "assertion failed: `{} == {}`",
+            stringify!($left),
+            stringify!($right)
+        )
+    };
+    ($left:expr, $right:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($fmt $(, $args)*),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ..) { body }`
+/// item becomes a `#[test]` that runs `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body Ok(()) })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

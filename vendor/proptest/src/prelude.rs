@@ -1,0 +1,6 @@
+//! Convenience re-exports, mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, proptest};

@@ -1,0 +1,64 @@
+//! Test-case plumbing: configuration, RNG, and failure reporting.
+
+use rand::prelude::*;
+
+/// Per-`proptest!` configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+///
+/// Seeded from the test name so every test gets an independent but
+/// reproducible stream.
+pub struct TestRng {
+    /// Underlying generator (public so strategy impls can sample directly).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+/// A failed assertion inside a generated case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;

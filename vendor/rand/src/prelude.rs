@@ -1,0 +1,4 @@
+//! Convenience re-exports, mirroring `rand::prelude`.
+
+pub use crate::rngs::StdRng;
+pub use crate::{Rng, RngCore, SampleUniform, SeedableRng, SliceRandom, Standard};
