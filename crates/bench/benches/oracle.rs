@@ -1,7 +1,14 @@
 //! Criterion micro-bench for the top-k building block itself.
+//!
+//! The `segtree`/`scan` series use the scratch-reuse path
+//! ([`TopKOracle::top_k_into`]) — the steady-state regime of the query
+//! pipeline; `segtree_alloc` measures the one-off allocating wrapper for
+//! comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use durable_topk::{LinearScorer, ScanOracle, SegTreeOracle, TopKOracle, Window};
+use durable_topk::{
+    LinearScorer, OracleScratch, ScanOracle, SegTreeOracle, TopKOracle, TopKResult, Window,
+};
 use durable_topk_workloads::ind;
 
 fn bench(c: &mut Criterion) {
@@ -10,15 +17,20 @@ fn bench(c: &mut Criterion) {
     let seg = SegTreeOracle::build(&ds);
     let scan = ScanOracle::new();
     let scorer = LinearScorer::uniform(2);
+    let mut scratch = OracleScratch::new();
+    let mut out = TopKResult::empty();
     let mut g = c.benchmark_group("topk_oracle");
     g.sample_size(20);
     for wlen in [1_000u32, 10_000, 100_000] {
         let w = Window::new(n - wlen, n - 1);
         g.bench_with_input(BenchmarkId::new("segtree", wlen), &w, |b, w| {
+            b.iter(|| seg.top_k_into(&ds, &scorer, 10, *w, &mut scratch, &mut out))
+        });
+        g.bench_with_input(BenchmarkId::new("segtree_alloc", wlen), &w, |b, w| {
             b.iter(|| seg.top_k(&ds, &scorer, 10, *w))
         });
         g.bench_with_input(BenchmarkId::new("scan", wlen), &w, |b, w| {
-            b.iter(|| scan.top_k(&ds, &scorer, 10, *w))
+            b.iter(|| scan.top_k_into(&ds, &scorer, 10, *w, &mut scratch, &mut out))
         });
     }
     g.finish();

@@ -637,7 +637,13 @@ fn ablation(cfg: &Config) {
         let a = engine.query(Algorithm::THop, &scorer, &qs);
         tree_ms.push(s.elapsed().as_secs_f64() * 1e3);
         let s = Instant::now();
-        let b = durable_topk::algorithms::t_hop(&small, &scan, &scorer, &qs);
+        let b = durable_topk::algorithms::t_hop(
+            &small,
+            &scan,
+            &scorer,
+            &qs,
+            &mut durable_topk::QueryContext::new(),
+        );
         scan_ms.push(s.elapsed().as_secs_f64() * 1e3);
         assert_eq!(a.records, b.records);
     }

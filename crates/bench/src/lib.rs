@@ -6,7 +6,9 @@
 //! random preference vectors (the paper uses 100 vectors per setting), and
 //! aligned text tables.
 
-use durable_topk::{Algorithm, DurableQuery, DurableTopKEngine, LinearScorer, Window};
+use durable_topk::{
+    Algorithm, DurableQuery, DurableTopKEngine, LinearScorer, QueryContext, Window,
+};
 use durable_topk_temporal::Time;
 use durable_topk_workloads::preference_suite;
 use std::time::Instant;
@@ -77,10 +79,13 @@ pub fn measure(
     let mut checks = Vec::with_capacity(vectors.len());
     let mut cands = Vec::with_capacity(vectors.len());
     let mut answers = Vec::with_capacity(vectors.len());
+    // One context for the whole measurement: the steady-state (allocation
+    // free) regime production callers see.
+    let mut ctx = QueryContext::new();
     for u in vectors {
         let scorer = LinearScorer::new(u);
         let start = Instant::now();
-        let result = engine.query(alg, &scorer, query);
+        let result = engine.query_with(alg, &scorer, query, &mut ctx);
         times.push(start.elapsed().as_secs_f64() * 1e3);
         queries.push(result.stats.topk_queries() as f64);
         checks.push(result.stats.durability_checks as f64);

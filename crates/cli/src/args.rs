@@ -1,5 +1,6 @@
 //! Minimal argument parsing (std-only).
 
+use durable_topk::Algorithm;
 use std::collections::HashMap;
 
 /// Parsed command line: a subcommand, positional arguments, and `--flag
@@ -91,6 +92,35 @@ pub fn parse_weights(s: &str) -> Result<Vec<f64>, String> {
     s.split(',').map(|w| w.trim().parse::<f64>().map_err(|_| format!("bad weight {w:?}"))).collect()
 }
 
+/// Parses an `--alg` value: one algorithm name, or `all` for a batch sweep
+/// over every variant.
+pub fn parse_algorithms(s: &str) -> Result<Vec<Algorithm>, String> {
+    match s {
+        "all" => Ok(Algorithm::ALL.to_vec()),
+        "tbase" => Ok(vec![Algorithm::TBase]),
+        "thop" => Ok(vec![Algorithm::THop]),
+        "sbase" => Ok(vec![Algorithm::SBase]),
+        "sband" => Ok(vec![Algorithm::SBand]),
+        "shop" => Ok(vec![Algorithm::SHop]),
+        "shop1" => Ok(vec![Algorithm::SHopTop1]),
+        other => Err(format!(
+            "unknown algorithm {other:?} (expected tbase|thop|sbase|sband|shop|shop1|all)"
+        )),
+    }
+}
+
+/// Largest worker count the CLI accepts (a typo guard, not a scheduler).
+pub const MAX_THREADS: usize = 1024;
+
+/// Parses `--threads`: `0` (the default) means "use available parallelism".
+pub fn parse_threads(args: &Args) -> Result<usize, String> {
+    let threads: usize = args.parse_or("threads", 0)?;
+    if threads > MAX_THREADS {
+        return Err(format!("--threads must be at most {MAX_THREADS}, got {threads}"));
+    }
+    Ok(threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +155,23 @@ mod tests {
         assert!(parse_range("nope").is_err());
         assert_eq!(parse_weights("0.5, 0.25,0.25").expect("weights"), vec![0.5, 0.25, 0.25]);
         assert!(parse_weights("1,x").is_err());
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        assert_eq!(parse_algorithms("thop").expect("thop"), vec![Algorithm::THop]);
+        assert_eq!(parse_algorithms("shop1").expect("shop1"), vec![Algorithm::SHopTop1]);
+        assert_eq!(parse_algorithms("all").expect("all"), Algorithm::ALL.to_vec());
+        let err = parse_algorithms("fancy").expect_err("unknown must fail");
+        assert!(err.contains("fancy") && err.contains("all"), "err={err}");
+    }
+
+    #[test]
+    fn threads_validation() {
+        assert_eq!(parse_threads(&parse("query f.csv")).expect("default"), 0);
+        assert_eq!(parse_threads(&parse("query f.csv --threads 8")).expect("8"), 8);
+        assert!(parse_threads(&parse("query f.csv --threads 9999")).is_err());
+        assert!(parse_threads(&parse("query f.csv --threads -3")).is_err());
+        assert!(parse_threads(&parse("query f.csv --threads many")).is_err());
     }
 }

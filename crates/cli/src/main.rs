@@ -10,8 +10,10 @@
 
 mod args;
 
-use args::{parse_range, parse_weights, Args};
-use durable_topk::{Algorithm, Anchor, DurableQuery, DurableTopKEngine, LinearScorer, Window};
+use args::{parse_algorithms, parse_range, parse_threads, parse_weights, Args};
+use durable_topk::{
+    Algorithm, Anchor, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, Window,
+};
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
 use std::process::ExitCode;
@@ -24,12 +26,14 @@ USAGE:
   durable-topk stats    FILE
   durable-topk topk     FILE --k K --window A:B [--weights W1,W2,..]
   durable-topk query    FILE --k K --tau T [--interval A:B] [--weights ..]
-                             [--alg tbase|thop|sbase|sband|shop] [--lookahead]
-                             [--durations] [--limit N]
+                             [--alg tbase|thop|sbase|sband|shop|shop1|all]
+                             [--threads N] [--lookahead] [--durations] [--limit N]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
-uniform. `query` defaults to --alg shop over the whole history.";
+uniform. `query` defaults to --alg shop over the whole history; --alg all
+sweeps every algorithm through the parallel batch executor (--threads 0 =
+use all cores).";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -153,38 +157,45 @@ fn query(args: &Args) -> Result<(), String> {
         }
         None => Window::new(0, n - 1),
     };
-    let alg = match args.get_or("alg", "shop") {
-        "tbase" => Algorithm::TBase,
-        "thop" => Algorithm::THop,
-        "sbase" => Algorithm::SBase,
-        "sband" => Algorithm::SBand,
-        "shop" => Algorithm::SHop,
-        "shop1" => Algorithm::SHopTop1,
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+    let algs = parse_algorithms(args.get_or("alg", "shop"))?;
+    let threads = parse_threads(args)?;
     let scorer = scorer_for(args, ds.dim())?;
     let limit: usize = args.parse_or("limit", 50)?;
     let lookahead = args.has("lookahead");
+    if lookahead && algs.len() > 1 {
+        return Err("--alg all cannot be combined with --lookahead".to_string());
+    }
 
     let mut engine = DurableTopKEngine::new(ds);
-    if alg == Algorithm::SBand {
+    if algs.contains(&Algorithm::SBand) {
         engine = engine.with_skyband_index(k);
     }
     if lookahead {
         engine = engine.with_lookahead();
     }
     let q = DurableQuery { k, tau, interval };
+
+    if algs.len() > 1 {
+        return sweep(&engine, &algs, &scorer, &q, threads);
+    }
+    let alg = algs[0];
     let anchor = if lookahead { Anchor::LookAhead } else { Anchor::LookBack };
     let started = std::time::Instant::now();
-    let result = engine.query_anchored(alg, &scorer, &q, anchor);
+    let result = if lookahead {
+        engine.query_anchored(alg, &scorer, &q, anchor)
+    } else {
+        // Dynamic dispatch shim: the CLI picks the scorer at run time.
+        engine.query_dyn(alg, &scorer, &q)
+    };
     let elapsed = started.elapsed();
 
     println!(
-        "{} durable records (k={k}, tau={tau}, I={interval}, {}) in {:.2?} — {} top-k queries",
+        "{} durable records (k={k}, tau={tau}, I={interval}, {}) in {:.2?} — {} top-k queries{}",
         result.records.len(),
         if lookahead { "look-ahead" } else { "look-back" },
         elapsed,
         result.stats.topk_queries(),
+        if result.stats.fallback { " (S-Band unavailable; served by S-Hop)" } else { "" },
     );
     for &id in result.records.iter().take(limit) {
         if args.has("durations") {
@@ -204,6 +215,49 @@ fn query(args: &Args) -> Result<(), String> {
     }
     if result.records.len() > limit {
         println!("  … {} more (raise --limit)", result.records.len() - limit);
+    }
+    Ok(())
+}
+
+/// Runs the same query under every algorithm through the batch executor and
+/// prints a comparison table (`--alg all`).
+fn sweep(
+    engine: &DurableTopKEngine,
+    algs: &[Algorithm],
+    scorer: &LinearScorer,
+    q: &DurableQuery,
+    threads: usize,
+) -> Result<(), String> {
+    let executor = BatchExecutor::new(threads);
+    let started = std::time::Instant::now();
+    let results = executor.run_sweep(engine, algs, scorer, q);
+    let elapsed = started.elapsed();
+    println!(
+        "{} durable records (k={}, tau={}, I={}) — {} algorithms on {} threads in {:.2?}",
+        results.first().map_or(0, |r| r.records.len()),
+        q.k,
+        q.tau,
+        q.interval,
+        algs.len(),
+        executor.resolved_threads(algs.len()),
+        elapsed,
+    );
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>9}",
+        "alg", "topk-queries", "checks", "candidates", "fallback"
+    );
+    for (alg, r) in algs.iter().zip(&results) {
+        println!(
+            "{:<8} {:>14} {:>12} {:>12} {:>9}",
+            alg.to_string(),
+            r.stats.topk_queries(),
+            r.stats.durability_checks,
+            r.stats.candidates,
+            if r.stats.fallback { "yes" } else { "no" },
+        );
+        if r.records != results[0].records {
+            return Err(format!("answer mismatch: {alg} disagrees with {}", algs[0]));
+        }
     }
     Ok(())
 }

@@ -11,6 +11,11 @@
 //! (Lemmas 1 and 3); under the random permutation model the expected answer
 //! size is `k·|I|/(τ+1)` (Lemma 4), making their expected cost linear in the
 //! output.
+//!
+//! Every algorithm is monomorphized over the oracle *and* the scoring
+//! function, and draws all working memory from a
+//! [`QueryContext`](crate::QueryContext): repeated queries through one
+//! context perform no per-probe allocations.
 
 mod sband;
 mod sbase;
@@ -20,6 +25,7 @@ mod thop;
 
 pub use sband::s_band;
 pub use sbase::s_base;
+pub(crate) use shop::ShopScratch;
 pub use shop::{s_hop, RefillMode};
 pub use tbase::t_base;
 pub use thop::t_hop;

@@ -10,23 +10,27 @@
 //! recruited as additional blockers (lines 10–11 of Algorithm 2, the
 //! "missing records" of Fig. 5).
 
+use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
-use durable_topk_index::{BlockingSet, DurableSkybandIndex, OracleScorer};
-use durable_topk_temporal::{Dataset, RecordId, Window};
+use durable_topk_index::{DurableSkybandIndex, OracleScorer};
+use durable_topk_temporal::{Dataset, Window};
 
 /// Runs S-Band. See the module docs.
 ///
 /// # Panics
 /// Panics on invalid query parameters, if the scorer is not monotone (the
 /// k-skyband pruning argument requires monotonicity), or if `query.k`
-/// exceeds the index's largest level.
-pub fn s_band<O: TopKOracle + ?Sized>(
+/// exceeds the index's largest level. The engine front-end
+/// ([`DurableTopKEngine::query`](crate::DurableTopKEngine::query)) degrades
+/// to S-Hop instead of panicking on the latter two.
+pub fn s_band<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
     index: &DurableSkybandIndex,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     query: &DurableQuery,
+    ctx: &mut QueryContext,
 ) -> QueryResult {
     assert!(
         scorer.is_monotone(),
@@ -35,46 +39,53 @@ pub fn s_band<O: TopKOracle + ?Sized>(
     let interval = query.validate(ds.len());
     let (k, tau) = (query.k, query.tau);
     let mut stats = QueryStats::default();
+    ctx.answers.clear();
 
     let (mut candidates, _k_bar) = index.candidates(interval, tau, k);
     stats.candidates = candidates.len() as u64;
-    let mut scored: Vec<(RecordId, f64)> =
-        candidates.drain(..).map(|id| (id, scorer.score(ds.row(id)))).collect();
+    let scored = &mut ctx.scored;
+    scored.clear();
+    scored.extend(candidates.drain(..).map(|id| (id, scorer.score(ds.row(id)))));
     scored.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
     });
 
-    let mut blocking = BlockingSet::new(ds.len(), tau);
-    let mut has_interval = vec![false; ds.len()];
-    let mut answers = Vec::new();
+    ctx.blocking.reset(ds.len(), tau);
+    ctx.has_interval.reset(ds.len());
 
-    for (id, score) in scored {
-        if blocking.coverage_above(id, score) < k {
+    for i in 0..ctx.scored.len() {
+        let (id, score) = ctx.scored[i];
+        if ctx.blocking.coverage_above(id, score) < k {
             stats.durability_checks += 1;
-            let pi = oracle.top_k(ds, scorer, k, Window::lookback(id, tau));
-            if pi.admits_score(score) {
-                answers.push(id);
+            oracle.top_k_into(
+                ds,
+                scorer,
+                k,
+                Window::lookback(id, tau),
+                &mut ctx.oracle,
+                &mut ctx.pi,
+            );
+            if ctx.pi.admits_score(score) {
+                ctx.answers.push(id);
             } else {
                 // Recruit the strictly better records as blockers; they were
                 // not in C (or not yet visited) but shadow lower-scored
                 // candidates.
-                for &(q, qs) in &pi.items {
-                    if !has_interval[q as usize] {
-                        has_interval[q as usize] = true;
-                        blocking.insert(q, qs);
+                for &(q, qs) in &ctx.pi.items {
+                    if ctx.has_interval.insert(q) {
+                        ctx.blocking.insert(q, qs);
                     }
                 }
             }
         } else {
             stats.blocked_skips += 1;
         }
-        if !has_interval[id as usize] {
-            has_interval[id as usize] = true;
-            blocking.insert(id, score);
+        if ctx.has_interval.insert(id) {
+            ctx.blocking.insert(id, score);
         }
     }
 
-    QueryResult::new(answers, stats)
+    QueryResult::new(ctx.take_answers(), stats)
 }
 
 #[cfg(test)]
@@ -99,7 +110,7 @@ mod tests {
         let (ds, oracle, idx) = setup(300);
         let scorer = LinearScorer::new(vec![0.5, 0.5]);
         let q = DurableQuery { k: 4, tau: 40, interval: Window::new(60, 299) };
-        let r = s_band(&ds, &oracle, &idx, &scorer, &q);
+        let r = s_band(&ds, &oracle, &idx, &scorer, &q, &mut QueryContext::new());
         let direct = idx.candidate_count(q.interval, q.tau, q.k);
         assert_eq!(r.stats.candidates as usize, direct);
         assert!(r.records.len() <= direct, "S ⊆ C");
@@ -110,7 +121,7 @@ mod tests {
         let (ds, oracle, idx) = setup(400);
         let scorer = LinearScorer::new(vec![0.9, 0.1]);
         let q = DurableQuery { k: 2, tau: 60, interval: Window::new(100, 399) };
-        let r = s_band(&ds, &oracle, &idx, &scorer, &q);
+        let r = s_band(&ds, &oracle, &idx, &scorer, &q, &mut QueryContext::new());
         assert_eq!(
             r.stats.durability_checks + r.stats.blocked_skips,
             r.stats.candidates,
@@ -128,10 +139,11 @@ mod tests {
         let (ds, oracle, idx) = setup(500);
         let scorer = LinearScorer::new(vec![0.3, 0.7]);
         let q = DurableQuery { k: 3, tau: 100, interval: Window::new(150, 499) };
-        let r = s_band(&ds, &oracle, &idx, &scorer, &q);
+        let mut ctx = QueryContext::new();
+        let r = s_band(&ds, &oracle, &idx, &scorer, &q, &mut ctx);
         assert!(r.stats.durability_checks <= r.stats.candidates);
-        // Exactness versus T-Hop.
-        let reference = crate::algorithms::t_hop(&ds, &oracle, &scorer, &q);
+        // Exactness versus T-Hop, sharing the same context.
+        let reference = crate::algorithms::t_hop(&ds, &oracle, &scorer, &q, &mut ctx);
         assert_eq!(r.records, reference.records);
     }
 }

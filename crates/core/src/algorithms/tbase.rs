@@ -8,6 +8,7 @@
 //! with one top-k query. Visits every record in `I` — linear time, the
 //! baseline the hop algorithms beat.
 
+use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
 use durable_topk_index::{OracleScorer, SkybandBuffer};
@@ -18,27 +19,28 @@ use durable_topk_temporal::{Dataset, Window};
 /// # Panics
 /// Panics on invalid query parameters (see
 /// [`DurableQuery::validate`]).
-pub fn t_base<O: TopKOracle + ?Sized>(
+pub fn t_base<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     query: &DurableQuery,
+    ctx: &mut QueryContext,
 ) -> QueryResult {
     let interval = query.validate(ds.len());
     let (k, tau) = (query.k, query.tau);
     let mut stats = QueryStats::default();
-    let mut answers = Vec::new();
+    ctx.answers.clear();
 
     let mut t = interval.end();
-    let mut buffer = {
-        stats.refill_queries += 1;
-        SkybandBuffer::from_result(k, &oracle.top_k(ds, scorer, k, Window::lookback(t, tau)))
-    };
+    let mut buffer = SkybandBuffer::new(k);
+    stats.refill_queries += 1;
+    oracle.top_k_into(ds, scorer, k, Window::lookback(t, tau), &mut ctx.oracle, &mut ctx.refill);
+    buffer.refill(&ctx.refill);
 
     loop {
         stats.candidates += 1;
         if buffer.admits(scorer.score(ds.row(t))) {
-            answers.push(t);
+            ctx.answers.push(t);
         }
         if t == interval.start() {
             break;
@@ -49,17 +51,22 @@ pub fn t_base<O: TopKOracle + ?Sized>(
         t -= 1;
         if buffer.contains(expiring) {
             stats.refill_queries += 1;
-            buffer = SkybandBuffer::from_result(
+            oracle.top_k_into(
+                ds,
+                scorer,
                 k,
-                &oracle.top_k(ds, scorer, k, Window::lookback(t, tau)),
+                Window::lookback(t, tau),
+                &mut ctx.oracle,
+                &mut ctx.refill,
             );
+            buffer.refill(&ctx.refill);
         } else if t >= tau {
             let incoming = t - tau;
             buffer.insert(incoming, scorer.score(ds.row(incoming)));
         }
     }
 
-    QueryResult::new(answers, stats)
+    QueryResult::new(ctx.take_answers(), stats)
 }
 
 #[cfg(test)]
@@ -74,7 +81,7 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 2, tau: 10, interval: Window::new(20, 79) };
-        let r = t_base(&ds, &oracle, &scorer, &q);
+        let r = t_base(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         assert_eq!(r.stats.candidates, 60);
     }
 
@@ -88,7 +95,7 @@ mod tests {
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 3, tau: 8, interval: Window::new(10, 49) };
         oracle.reset_counters();
-        let r = t_base(&ds, &oracle, &scorer, &q);
+        let r = t_base(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         // With strictly decreasing values every record IS in its window's
         // top-k... actually the top-k of [t-8, t] is the 3 oldest records,
         // and the expiring record t is never among them except in tiny
@@ -106,7 +113,7 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 2, tau: 100, interval: Window::new(0, 29) };
-        let r = t_base(&ds, &oracle, &scorer, &q);
+        let r = t_base(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         // Reference by definition.
         let expected: Vec<u32> = (0..30u32)
             .filter(|&t| {

@@ -13,6 +13,7 @@
 //! hop target is the most recent among all records that could render the
 //! skipped region non-durable; this keeps the hop sound when scores collide.
 
+use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
 use durable_topk_index::OracleScorer;
@@ -22,24 +23,25 @@ use durable_topk_temporal::{Dataset, Window};
 ///
 /// # Panics
 /// Panics on invalid query parameters (see [`DurableQuery::validate`]).
-pub fn t_hop<O: TopKOracle + ?Sized>(
+pub fn t_hop<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     query: &DurableQuery,
+    ctx: &mut QueryContext,
 ) -> QueryResult {
     let interval = query.validate(ds.len());
     let (k, tau) = (query.k, query.tau);
     let mut stats = QueryStats::default();
-    let mut answers = Vec::new();
+    ctx.answers.clear();
 
     let mut t = interval.end();
     loop {
         stats.candidates += 1;
         stats.durability_checks += 1;
-        let pi = oracle.top_k(ds, scorer, k, Window::lookback(t, tau));
-        if pi.admits_score(scorer.score(ds.row(t))) {
-            answers.push(t);
+        oracle.top_k_into(ds, scorer, k, Window::lookback(t, tau), &mut ctx.oracle, &mut ctx.pi);
+        if ctx.pi.admits_score(scorer.score(ds.row(t))) {
+            ctx.answers.push(t);
             if t == interval.start() {
                 break;
             }
@@ -48,7 +50,8 @@ pub fn t_hop<O: TopKOracle + ?Sized>(
             // Hop: the most recent arrival in π≤k. It is strictly earlier
             // than t (t itself is not in π≤k), and every record in between
             // has at least k strictly-better records inside its own window.
-            let hop = pi.max_time().expect("a non-durable record implies a non-empty top-k set");
+            let hop =
+                ctx.pi.max_time().expect("a non-durable record implies a non-empty top-k set");
             debug_assert!(hop < t);
             if hop < interval.start() {
                 break;
@@ -57,7 +60,7 @@ pub fn t_hop<O: TopKOracle + ?Sized>(
         }
     }
 
-    QueryResult::new(answers, stats)
+    QueryResult::new(ctx.take_answers(), stats)
 }
 
 #[cfg(test)]
@@ -76,7 +79,7 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 1, tau: 100, interval: Window::new(0, 199) };
-        let r = t_hop(&ds, &oracle, &scorer, &q);
+        let r = t_hop(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         assert!(r.records.contains(&50));
         // Lemma 1: checks are O(|S| + k⌈|I|/τ⌉) — concretely at most one
         // type-1 false check per durable record plus O(k) type-2 checks per
@@ -100,7 +103,7 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 3, tau: 23, interval: Window::new(3, 22) };
-        let r = t_hop(&ds, &oracle, &scorer, &q);
+        let r = t_hop(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         assert!(r.records.is_empty());
         assert!(r.stats.durability_checks <= 5);
     }
@@ -113,7 +116,23 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 1, tau: 4, interval: Window::new(0, 4) };
-        let r = t_hop(&ds, &oracle, &scorer, &q);
+        let r = t_hop(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
         assert_eq!(r.records, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn context_reuse_across_queries_is_clean() {
+        // The same context answers consecutive queries with different
+        // parameters; answers must match fresh-context runs exactly.
+        let ds = Dataset::from_rows(1, (0..120).map(|i| [((i * 13) % 31) as f64]));
+        let oracle = ScanOracle::new();
+        let scorer = SingleAttributeScorer::new(0);
+        let mut ctx = QueryContext::new();
+        for (k, tau, lo, hi) in [(1, 5, 0, 119), (3, 40, 20, 90), (2, 200, 0, 50)] {
+            let q = DurableQuery { k, tau, interval: Window::new(lo, hi) };
+            let reused = t_hop(&ds, &oracle, &scorer, &q, &mut ctx);
+            let fresh = t_hop(&ds, &oracle, &scorer, &q, &mut QueryContext::new());
+            assert_eq!(reused.records, fresh.records, "q={q:?}");
+        }
     }
 }

@@ -18,10 +18,10 @@ use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 ///
 /// # Panics
 /// Panics if `k == 0`, `tau == 0`, or the interval is outside the dataset.
-pub fn tumbling_topk<O: TopKOracle + ?Sized>(
+pub fn tumbling_topk<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     k: usize,
     interval: Window,
     tau: Time,
@@ -57,10 +57,10 @@ pub fn tumbling_topk<O: TopKOracle + ?Sized>(
 ///
 /// # Panics
 /// Panics if `k == 0`, `tau == 0`, or the interval is outside the dataset.
-pub fn sliding_topk_union<O: TopKOracle + ?Sized>(
+pub fn sliding_topk_union<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     k: usize,
     interval: Window,
     tau: Time,
@@ -163,7 +163,7 @@ mod tests {
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
         let q = DurableQuery { k: 2, tau: 3, interval: Window::new(0, 7) };
-        let durable = t_hop(&ds, &oracle, &scorer, &q);
+        let durable = t_hop(&ds, &oracle, &scorer, &q, &mut crate::QueryContext::new());
         let union = sliding_topk_union(&ds, &oracle, &scorer, 2, Window::new(0, 7), 3);
         assert!(durable.records.iter().all(|r| union.contains(r)));
     }

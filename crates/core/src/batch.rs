@@ -5,23 +5,166 @@
 //! settings at run-time, interactively or automatically") issue many queries
 //! against one index. All indexes here are read-only after construction and
 //! instrumented with atomic counters, so a single engine serves concurrent
-//! queries; this module fans a batch out over scoped threads.
+//! queries; [`BatchExecutor`] fans batches out over scoped worker threads,
+//! each owning one [`QueryContext`] so the hot path stays allocation-free
+//! across the whole batch.
 
+use crate::context::QueryContext;
 use crate::engine::{Algorithm, DurableTopKEngine};
 use crate::query::{DurableQuery, QueryResult};
 use durable_topk_index::OracleScorer;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable parallel executor for durable top-k query batches.
+///
+/// Results are written through disjoint chunk borrows of the output vector:
+/// workers pop whole chunks from a shared queue (one lock acquisition per
+/// chunk, not per slot) and fill their chunk exclusively. Each worker reuses
+/// a single [`QueryContext`] for every query it runs.
+///
+/// ```
+/// use durable_topk::{Algorithm, BatchExecutor, DurableQuery, DurableTopKEngine};
+/// use durable_topk_temporal::{Dataset, LinearScorer, Window};
+///
+/// let ds = Dataset::from_rows(2, (0..500).map(|i| {
+///     [((i * 37) % 101) as f64, ((i * 73) % 97) as f64]
+/// }));
+/// let engine = DurableTopKEngine::new(ds);
+/// let scorers: Vec<LinearScorer> =
+///     (1..=16).map(|i| LinearScorer::new(vec![i as f64, (17 - i) as f64])).collect();
+/// let query = DurableQuery { k: 3, tau: 50, interval: Window::new(100, 499) };
+///
+/// let executor = BatchExecutor::new(4);
+/// let results = executor.run(&engine, Algorithm::SHop, &scorers, &query);
+/// assert_eq!(results.len(), scorers.len());
+/// // Results arrive in input order: results[i] answers scorers[i].
+/// assert_eq!(results[0].records, engine.query(Algorithm::SHop, &scorers[0], &query).records);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Creates an executor; `threads = 0` uses the available parallelism.
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The worker count used for a batch of `jobs` items.
+    pub fn resolved_threads(&self, jobs: usize) -> usize {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        threads.min(jobs).max(1)
+    }
+
+    /// Runs the same `DurTop(k, I, τ)` under many scorers in parallel,
+    /// returning results in input order.
+    ///
+    /// # Panics
+    /// Propagates panics from worker threads (invalid queries, …).
+    pub fn run<S: OracleScorer + Sync>(
+        &self,
+        engine: &DurableTopKEngine,
+        alg: Algorithm,
+        scorers: &[S],
+        query: &DurableQuery,
+    ) -> Vec<QueryResult> {
+        self.run_jobs(scorers.len(), |i, ctx| engine.query_with(alg, &scorers[i], query, ctx))
+    }
+
+    /// Runs one query under every algorithm in `algs` (an algorithm sweep),
+    /// returning results in `algs` order.
+    ///
+    /// # Panics
+    /// Propagates panics from worker threads.
+    pub fn run_sweep<S: OracleScorer + Sync + ?Sized>(
+        &self,
+        engine: &DurableTopKEngine,
+        algs: &[Algorithm],
+        scorer: &S,
+        query: &DurableQuery,
+    ) -> Vec<QueryResult> {
+        self.run_jobs(algs.len(), |i, ctx| engine.query_with(algs[i], scorer, query, ctx))
+    }
+
+    /// Runs many distinct queries under one scorer in parallel, returning
+    /// results in input order.
+    ///
+    /// # Panics
+    /// Propagates panics from worker threads.
+    pub fn run_queries<S: OracleScorer + Sync + ?Sized>(
+        &self,
+        engine: &DurableTopKEngine,
+        alg: Algorithm,
+        scorer: &S,
+        queries: &[DurableQuery],
+    ) -> Vec<QueryResult> {
+        self.run_jobs(queries.len(), |i, ctx| engine.query_with(alg, scorer, &queries[i], ctx))
+    }
+
+    /// Shared fan-out machinery: evaluates `job(i, ctx)` for `i in 0..jobs`
+    /// with one context per worker and disjoint chunk output borrows.
+    fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut QueryContext) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let threads = self.resolved_threads(jobs);
+        if threads == 1 {
+            let mut ctx = QueryContext::new();
+            return (0..jobs).map(|i| job(i, &mut ctx)).collect();
+        }
+
+        let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        // Disjoint chunk borrows: each queue entry owns an exclusive slice
+        // of the output. Several chunks per worker keep the load balanced
+        // when per-query costs are skewed.
+        let chunk_len = jobs.div_ceil(threads * 4);
+        /// An exclusive output chunk: global offset plus its result slots.
+        type Chunk<'a, T> = (usize, &'a mut [Option<T>]);
+        let queue: Mutex<Vec<Chunk<'_, T>>> = Mutex::new(
+            results
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(c, slice)| (c * chunk_len, slice))
+                .collect(),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut ctx = QueryContext::new();
+                    loop {
+                        let Some((offset, slice)) = queue.lock().expect("chunk queue").pop() else {
+                            break;
+                        };
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(job(offset + i, &mut ctx));
+                        }
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("every chunk drained by a worker")).collect()
+    }
+}
 
 /// Runs the same `DurTop(k, I, τ)` under many scorers in parallel, returning
 /// results in input order.
 ///
-/// `threads = 0` uses the available parallelism. The engine is shared
-/// read-only; per-query instrumentation lands in each result's stats while
-/// the engine's cumulative oracle counters aggregate across the batch.
+/// Convenience wrapper over [`BatchExecutor::run`]; `threads = 0` uses the
+/// available parallelism. The engine is shared read-only; per-query
+/// instrumentation lands in each result's stats while the engine's
+/// cumulative oracle counters aggregate across the batch.
 ///
 /// # Panics
-/// Propagates panics from worker threads (invalid queries, missing S-Band
-/// index, …).
+/// Propagates panics from worker threads (invalid queries, …).
 pub fn batch_query<S: OracleScorer + Sync>(
     engine: &DurableTopKEngine,
     alg: Algorithm,
@@ -29,38 +172,7 @@ pub fn batch_query<S: OracleScorer + Sync>(
     query: &DurableQuery,
     threads: usize,
 ) -> Vec<QueryResult> {
-    if scorers.is_empty() {
-        return Vec::new();
-    }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(scorers.len());
-
-    if threads == 1 {
-        return scorers.iter().map(|s| engine.query(alg, s, query)).collect();
-    }
-
-    let mut results: Vec<Option<QueryResult>> = (0..scorers.len()).map(|_| None).collect();
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<QueryResult>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= scorers.len() {
-                    break;
-                }
-                let r = engine.query(alg, &scorers[i], query);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results.into_iter().map(|r| r.expect("every slot filled by the work loop")).collect()
+    BatchExecutor::new(threads).run(engine, alg, scorers, query)
 }
 
 #[cfg(test)]
@@ -108,5 +220,42 @@ mod tests {
         let results = batch_query(&engine, Algorithm::THop, &scorers, &q, 3);
         let expected: u64 = results.iter().map(|r| r.stats.topk_queries()).sum();
         assert_eq!(engine.oracle_queries(), expected);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let engine = engine(400);
+        let scorers = vec![LinearScorer::uniform(2), LinearScorer::new(vec![3.0, 1.0])];
+        let q = DurableQuery { k: 2, tau: 40, interval: Window::new(0, 399) };
+        let out = batch_query(&engine, Algorithm::SHop, &scorers, &q, 64);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].records, engine.query(Algorithm::SHop, &scorers[0], &q).records);
+        assert_eq!(out[1].records, engine.query(Algorithm::SHop, &scorers[1], &q).records);
+    }
+
+    #[test]
+    fn algorithm_sweep_agrees_across_algorithms() {
+        let engine = engine(1_500);
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let q = DurableQuery { k: 3, tau: 200, interval: Window::new(500, 1_499) };
+        let algs = Algorithm::ALL;
+        let results = BatchExecutor::new(0).run_sweep(&engine, &algs, &scorer, &q);
+        assert_eq!(results.len(), algs.len());
+        for (alg, r) in algs.iter().zip(&results) {
+            assert_eq!(r.records, results[0].records, "alg={alg}");
+        }
+    }
+
+    #[test]
+    fn query_batches_run_in_input_order() {
+        let engine = engine(800);
+        let scorer = LinearScorer::uniform(2);
+        let queries: Vec<DurableQuery> = (1..=5)
+            .map(|i| DurableQuery { k: i, tau: 60 * i as u32, interval: Window::new(0, 799) })
+            .collect();
+        let par = BatchExecutor::new(3).run_queries(&engine, Algorithm::THop, &scorer, &queries);
+        for (q, r) in queries.iter().zip(&par) {
+            assert_eq!(r.records, engine.query(Algorithm::THop, &scorer, q).records);
+        }
     }
 }

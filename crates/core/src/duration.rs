@@ -6,6 +6,7 @@
 //! query per probe — `O(q(n) log n)` per record, independent of which
 //! algorithm produced the record.
 
+use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
 use durable_topk_index::OracleScorer;
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
@@ -22,31 +23,33 @@ use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 ///
 /// # Panics
 /// Panics if `k == 0` or `p` is out of bounds.
-pub fn max_duration<O: TopKOracle + ?Sized>(
+pub fn max_duration<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    scorer: &dyn OracleScorer,
+    scorer: &S,
     p: RecordId,
     k: usize,
+    ctx: &mut QueryContext,
 ) -> (Time, u64) {
     assert!(k > 0, "k must be positive");
     assert!((p as usize) < ds.len(), "record {p} out of bounds");
     let score = scorer.score(ds.row(p));
     let mut probes = 0u64;
-    let mut durable_at = |tau: Time| -> bool {
+    let mut durable_at = |tau: Time, ctx: &mut QueryContext| -> bool {
         probes += 1;
-        oracle.top_k(ds, scorer, k, Window::lookback(p, tau)).admits_score(score)
+        oracle.top_k_into(ds, scorer, k, Window::lookback(p, tau), &mut ctx.oracle, &mut ctx.pi);
+        ctx.pi.admits_score(score)
     };
 
     // Windows clamp at time 0: τ = p.t already covers all of history.
-    if durable_at(p) {
+    if durable_at(p, ctx) {
         return (ds.len() as Time, probes);
     }
     // Invariant: durable at lo, not durable at hi.
     let (mut lo, mut hi) = (0u32, p);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if durable_at(mid) {
+        if durable_at(mid, ctx) {
             lo = mid;
         } else {
             hi = mid;
@@ -80,7 +83,7 @@ mod tests {
         let ds = Dataset::from_rows(1, [[1.0], [9.0], [2.0], [3.0]]);
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
-        let (d, _) = max_duration(&ds, &oracle, &scorer, 1, 1);
+        let (d, _) = max_duration(&ds, &oracle, &scorer, 1, 1, &mut QueryContext::new());
         assert_eq!(d, 4);
     }
 
@@ -91,7 +94,7 @@ mod tests {
         let ds = Dataset::from_rows(1, [[1.0], [9.0], [2.0], [5.0]]);
         let oracle = ScanOracle::new();
         let scorer = SingleAttributeScorer::new(0);
-        let (d, _) = max_duration(&ds, &oracle, &scorer, 3, 1);
+        let (d, _) = max_duration(&ds, &oracle, &scorer, 3, 1, &mut QueryContext::new());
         assert_eq!(d, 1);
     }
 
@@ -109,7 +112,8 @@ mod tests {
                 let p = rng.random_range(0..n as RecordId);
                 let k = rng.random_range(1..4);
                 let brute = brute_max_duration(&ds, p, k);
-                let (fast, probes) = max_duration(&ds, &oracle, &scorer, p, k);
+                let (fast, probes) =
+                    max_duration(&ds, &oracle, &scorer, p, k, &mut QueryContext::new());
                 // The brute loop caps at τ = n; "unbounded" reports n too.
                 let fast_capped = fast.min(ds.len() as Time);
                 // brute reports the max τ <= n with durability; records

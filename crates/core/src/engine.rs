@@ -2,6 +2,7 @@
 //! together.
 
 use crate::algorithms::{s_band, s_base, s_hop, t_base, t_hop, RefillMode};
+use crate::context::QueryContext;
 use crate::duration::max_duration;
 use crate::oracle::{SegTreeOracle, TopKOracle};
 use crate::query::{DurableQuery, QueryResult};
@@ -17,8 +18,12 @@ pub enum Algorithm {
     THop,
     /// Score-prioritized sorting baseline (Section IV-A).
     SBase,
-    /// Durable k-skyband candidates (Section IV-B); monotone scorers only,
-    /// requires [`DurableTopKEngine::with_skyband_index`].
+    /// Durable k-skyband candidates (Section IV-B); monotone scorers only.
+    /// Served by the index built with
+    /// [`DurableTopKEngine::with_skyband_index`]; without one (or when `k`
+    /// exceeds its build bound, or the scorer is not monotone) the engine
+    /// falls back to S-Hop and flags
+    /// [`QueryStats::fallback`](crate::QueryStats).
     SBand,
     /// Score-prioritized hop algorithm (Section IV-C).
     SHop,
@@ -120,30 +125,73 @@ impl DurableTopKEngine {
         self.skyband.as_ref()
     }
 
-    /// Answers `DurTop(k, I, τ)` with look-back durability windows.
+    /// Answers `DurTop(k, I, τ)` with look-back durability windows,
+    /// allocating a fresh [`QueryContext`].
+    ///
+    /// Repeated callers should hold a context and use
+    /// [`query_with`](DurableTopKEngine::query_with) to reuse scratch
+    /// buffers across queries.
     ///
     /// # Panics
-    /// Panics on invalid parameters; for [`Algorithm::SBand`] additionally
-    /// if the skyband index was not built or the scorer is not monotone.
-    pub fn query(
+    /// Panics on invalid parameters.
+    pub fn query<S: OracleScorer + ?Sized>(
+        &self,
+        alg: Algorithm,
+        scorer: &S,
+        query: &DurableQuery,
+    ) -> QueryResult {
+        self.query_with(alg, scorer, query, &mut QueryContext::new())
+    }
+
+    /// Dynamic-dispatch shim over [`query`](DurableTopKEngine::query) for
+    /// callers that select the scorer at run time (e.g. the CLI).
+    pub fn query_dyn(
         &self,
         alg: Algorithm,
         scorer: &dyn OracleScorer,
         query: &DurableQuery,
     ) -> QueryResult {
+        self.query(alg, scorer, query)
+    }
+
+    /// Answers `DurTop(k, I, τ)` with look-back durability windows, drawing
+    /// all working memory from `ctx` — the allocation-free path.
+    ///
+    /// [`Algorithm::SBand`] degrades gracefully: when no skyband index was
+    /// built, `query.k` exceeds its largest level, or the scorer is not
+    /// monotone, the engine answers with S-Hop instead and sets
+    /// [`QueryStats::fallback`](crate::QueryStats).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn query_with<S: OracleScorer + ?Sized>(
+        &self,
+        alg: Algorithm,
+        scorer: &S,
+        query: &DurableQuery,
+        ctx: &mut QueryContext,
+    ) -> QueryResult {
         match alg {
-            Algorithm::TBase => t_base(&self.ds, &self.oracle, scorer, query),
-            Algorithm::THop => t_hop(&self.ds, &self.oracle, scorer, query),
-            Algorithm::SBase => s_base(&self.ds, scorer, query),
-            Algorithm::SBand => {
-                let idx = self
-                    .skyband
-                    .as_ref()
-                    .expect("S-Band requires with_skyband_index(..) at engine build time");
-                s_band(&self.ds, &self.oracle, idx, scorer, query)
+            Algorithm::TBase => t_base(&self.ds, &self.oracle, scorer, query, ctx),
+            Algorithm::THop => t_hop(&self.ds, &self.oracle, scorer, query, ctx),
+            Algorithm::SBase => s_base(&self.ds, scorer, query, ctx),
+            Algorithm::SBand => match &self.skyband {
+                Some(idx) if scorer.is_monotone() && query.k <= idx.max_k() => {
+                    s_band(&self.ds, &self.oracle, idx, scorer, query, ctx)
+                }
+                _ => {
+                    // Graceful degradation: S-Hop answers the same query
+                    // without the candidate index.
+                    let mut result =
+                        s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx);
+                    result.stats.fallback = true;
+                    result
+                }
+            },
+            Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx),
+            Algorithm::SHopTop1 => {
+                s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1, ctx)
             }
-            Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK),
-            Algorithm::SHopTop1 => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1),
         }
     }
 
@@ -157,10 +205,10 @@ impl DurableTopKEngine {
     /// As [`query`](DurableTopKEngine::query); for look-ahead additionally
     /// if [`with_lookahead`](DurableTopKEngine::with_lookahead) was not
     /// called.
-    pub fn query_anchored(
+    pub fn query_anchored<S: OracleScorer + ?Sized>(
         &self,
         alg: Algorithm,
-        scorer: &dyn OracleScorer,
+        scorer: &S,
         query: &DurableQuery,
         anchor: Anchor,
     ) -> QueryResult {
@@ -190,8 +238,13 @@ impl DurableTopKEngine {
 
     /// The longest duration for which record `p` stays in the top-k
     /// (look-back), plus the number of top-k probes used.
-    pub fn max_duration(&self, scorer: &dyn OracleScorer, p: RecordId, k: usize) -> (Time, u64) {
-        max_duration(&self.ds, &self.oracle, scorer, p, k)
+    pub fn max_duration<S: OracleScorer + ?Sized>(
+        &self,
+        scorer: &S,
+        p: RecordId,
+        k: usize,
+    ) -> (Time, u64) {
+        max_duration(&self.ds, &self.oracle, scorer, p, k, &mut QueryContext::new())
     }
 
     /// Cumulative top-k queries issued by the engine's oracle.
@@ -304,13 +357,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "with_skyband_index")]
-    fn sband_without_index_panics() {
-        let ds = Dataset::from_rows(2, [[1.0, 1.0], [2.0, 2.0]]);
+    fn sband_without_index_falls_back_to_shop() {
+        let ds = Dataset::from_rows(2, (0..40).map(|i| [((i * 7) % 11) as f64, (i % 5) as f64]));
         let engine = DurableTopKEngine::new(ds);
         let scorer = LinearScorer::uniform(2);
-        let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 1) };
-        engine.query(Algorithm::SBand, &scorer, &q);
+        let q = DurableQuery { k: 2, tau: 8, interval: Window::new(0, 39) };
+        let got = engine.query(Algorithm::SBand, &scorer, &q);
+        assert!(got.stats.fallback, "missing index must be flagged as a fallback");
+        let reference = engine.query(Algorithm::SHop, &scorer, &q);
+        assert_eq!(got.records, reference.records);
+        assert!(!reference.stats.fallback);
+    }
+
+    #[test]
+    fn sband_with_k_above_build_bound_falls_back() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let engine = random_engine(&mut rng, 120, 9); // skyband built for k <= 8
+        let scorer = LinearScorer::new(vec![0.7, 0.3]);
+        let q = DurableQuery { k: 11, tau: 20, interval: Window::new(0, 119) };
+        let got = engine.query(Algorithm::SBand, &scorer, &q);
+        assert!(got.stats.fallback, "k above the build bound must fall back");
+        assert_eq!(got.records, engine.query(Algorithm::THop, &scorer, &q).records);
+        // Within the bound the real S-Band path serves the query.
+        let in_bound = DurableQuery { k: 8, ..q };
+        assert!(!engine.query(Algorithm::SBand, &scorer, &in_bound).stats.fallback);
+    }
+
+    #[test]
+    fn sband_with_non_monotone_scorer_falls_back() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let engine = random_engine(&mut rng, 80, 12);
+        let scorer = crate::CosineScorer::new(vec![0.6, 0.8]);
+        let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, 79) };
+        let got = engine.query(Algorithm::SBand, &scorer, &q);
+        assert!(got.stats.fallback);
+        assert_eq!(got.records, engine.query(Algorithm::SHop, &scorer, &q).records);
     }
 
     #[test]

@@ -41,20 +41,24 @@
 pub mod algorithms;
 pub mod alternatives;
 pub mod batch;
+pub mod context;
 pub mod duration;
 pub mod engine;
 pub mod oracle;
 pub mod query;
+pub mod sharded;
 pub mod streaming;
 
-pub use batch::batch_query;
+pub use batch::{batch_query, BatchExecutor};
+pub use context::QueryContext;
 pub use engine::{Algorithm, DurableTopKEngine};
 pub use oracle::{ScanOracle, SegTreeOracle, TopKOracle};
 pub use query::{DurableQuery, QueryResult, QueryStats};
+pub use sharded::ShardedEngine;
 pub use streaming::StreamingMonitor;
 
 // Re-export the vocabulary types callers need.
-pub use durable_topk_index::{OracleScorer, TopKResult};
+pub use durable_topk_index::{OracleScorer, OracleScratch, TopKResult};
 pub use durable_topk_temporal::{
     Anchor, CosineScorer, Dataset, LinearScorer, MonotoneCombinationScorer, MonotoneTransform,
     RecordId, Scorer, SingleAttributeScorer, Time, Window,

@@ -7,6 +7,11 @@
 //! [`TopKOracle`] is that black box; the durable top-k algorithms are
 //! generic over it.
 //!
+//! The trait is *monomorphized* over the scoring function: every probe
+//! resolves the scorer statically, so the per-probe path carries no virtual
+//! dispatch, and results land in caller-provided buffers drawn from a
+//! [`QueryContext`](crate::QueryContext) — no per-probe allocations either.
+//!
 //! Two implementations ship with the crate:
 //!
 //! * [`SegTreeOracle`] — the skyline segment tree of Appendix A (the
@@ -14,15 +19,42 @@
 //! * [`ScanOracle`] — a linear scan of the window (the correctness
 //!   reference, and the fallback when no index has been built).
 
-use durable_topk_index::{scan_top_k, OracleScorer, SkylineSegTree, TopKResult};
+use durable_topk_index::{
+    scan_top_k_into, OracleScorer, OracleScratch, SkylineSegTree, TopKResult,
+};
 use durable_topk_temporal::{Dataset, Window};
 use std::cell::Cell;
 
 /// A building block answering preference top-k queries over time windows.
 pub trait TopKOracle {
-    /// Answers `Q(u, k, W)`: the top-k records (with ties of the k-th score)
-    /// among records arriving in `w`, best first.
-    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult;
+    /// Answers `Q(u, k, W)` into `out`: the top-k records (with ties of the
+    /// k-th score) among records arriving in `w`, best first. Internal
+    /// search state comes from `scratch`, so repeated probes allocate
+    /// nothing.
+    fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`top_k_into`](TopKOracle::top_k_into) for one-off probes.
+    fn top_k<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+    ) -> TopKResult {
+        let mut scratch = OracleScratch::new();
+        let mut out = TopKResult::empty();
+        self.top_k_into(ds, scorer, k, w, &mut scratch, &mut out);
+        out
+    }
 
     /// Number of top-k queries issued since construction or the last
     /// [`reset_counters`](TopKOracle::reset_counters) — the metric every
@@ -60,8 +92,16 @@ impl SegTreeOracle {
 }
 
 impl TopKOracle for SegTreeOracle {
-    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult {
-        self.tree.top_k(ds, scorer, k, w)
+    fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
+        self.tree.top_k_with(ds, scorer, k, w, scratch, out);
     }
 
     fn queries_issued(&self) -> u64 {
@@ -87,9 +127,17 @@ impl ScanOracle {
 }
 
 impl TopKOracle for ScanOracle {
-    fn top_k(&self, ds: &Dataset, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult {
+    fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        _scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
         self.queries.set(self.queries.get() + 1);
-        scan_top_k(ds, scorer, k, w)
+        scan_top_k_into(ds, scorer, k, w, out);
     }
 
     fn queries_issued(&self) -> u64 {
@@ -120,5 +168,20 @@ mod tests {
         scan.reset_counters();
         assert_eq!(seg.queries_issued(), 0);
         assert_eq!(scan.queries_issued(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_buffers() {
+        let ds = Dataset::from_rows(1, (0..64).map(|i| [((i * 23) % 17) as f64]));
+        let seg = SegTreeOracle::build(&ds);
+        let scorer = LinearScorer::new(vec![1.0]);
+        let mut scratch = OracleScratch::new();
+        let mut out = TopKResult::empty();
+        for k in 1..5 {
+            for (a, b) in [(0u32, 63u32), (10, 40), (5, 5), (60, 63)] {
+                seg.top_k_into(&ds, &scorer, k, Window::new(a, b), &mut scratch, &mut out);
+                assert_eq!(out, seg.top_k(&ds, &scorer, k, Window::new(a, b)), "k={k} w={a}:{b}");
+            }
+        }
     }
 }

@@ -51,12 +51,27 @@ pub struct QueryStats {
     pub candidates: u64,
     /// Candidates skipped purely by the blocking mechanism.
     pub blocked_skips: u64,
+    /// Whether the engine substituted a different algorithm for the
+    /// requested one (S-Band gracefully degrades to S-Hop when `k` exceeds
+    /// the skyband build bound, no index was built, or the scorer is not
+    /// monotone).
+    pub fallback: bool,
 }
 
 impl QueryStats {
     /// Total top-k building-block invocations.
     pub fn topk_queries(&self) -> u64 {
         self.durability_checks + self.refill_queries
+    }
+
+    /// Accumulates another execution's counters into this one (used when
+    /// merging per-shard results).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.durability_checks += other.durability_checks;
+        self.refill_queries += other.refill_queries;
+        self.candidates += other.candidates;
+        self.blocked_skips += other.blocked_skips;
+        self.fallback |= other.fallback;
     }
 }
 

@@ -14,16 +14,23 @@
 //!    oracle.
 
 use crate::algorithms::{s_hop, t_hop, RefillMode};
+use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, QueryResult};
-use durable_topk_index::{AppendableTopKIndex, OracleScorer, TopKResult};
+use durable_topk_index::{AppendableTopKIndex, OracleScorer, OracleScratch, TopKResult};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 
 /// An online durable top-k engine over an append-only record stream.
+///
+/// The monitor owns an [`OracleScratch`] and a result buffer, so the
+/// per-arrival classification probe of [`push`](StreamingMonitor::push)
+/// allocates nothing once warm.
 #[derive(Debug)]
 pub struct StreamingMonitor {
     ds: Dataset,
     index: AppendableTopKIndex,
+    scratch: OracleScratch,
+    probe: TopKResult,
 }
 
 impl StreamingMonitor {
@@ -32,13 +39,18 @@ impl StreamingMonitor {
     /// # Panics
     /// Panics if `dim == 0` or `leaf_size == 0`.
     pub fn new(dim: usize, leaf_size: usize) -> Self {
-        Self { ds: Dataset::new(dim), index: AppendableTopKIndex::new(leaf_size) }
+        Self {
+            ds: Dataset::new(dim),
+            index: AppendableTopKIndex::new(leaf_size),
+            scratch: OracleScratch::new(),
+            probe: TopKResult::empty(),
+        }
     }
 
     /// Bootstraps the monitor from existing history.
     pub fn from_history(ds: Dataset, leaf_size: usize) -> Self {
         let index = AppendableTopKIndex::build(&ds, leaf_size);
-        Self { ds, index }
+        Self { ds, index, scratch: OracleScratch::new(), probe: TopKResult::empty() }
     }
 
     /// Records ingested so far.
@@ -63,38 +75,53 @@ impl StreamingMonitor {
     ///
     /// # Panics
     /// Panics if `k == 0` or the attribute arity mismatches.
-    pub fn push(&mut self, attrs: &[f64], scorer: &dyn OracleScorer, k: usize, tau: Time) -> bool {
+    pub fn push<S: OracleScorer + ?Sized>(
+        &mut self,
+        attrs: &[f64],
+        scorer: &S,
+        k: usize,
+        tau: Time,
+    ) -> bool {
         assert!(k > 0, "k must be positive");
         let id = self.ds.push(attrs);
         self.index.append(&self.ds);
-        let pi = self.index.top_k(&self.ds, scorer, k, Window::lookback(id, tau));
-        pi.admits_score(scorer.score(attrs))
+        self.index.top_k_with(
+            &self.ds,
+            scorer,
+            k,
+            Window::lookback(id, tau),
+            &mut self.scratch,
+            &mut self.probe,
+        );
+        self.probe.admits_score(scorer.score(attrs))
     }
 
     /// Direct access to the oracle: `Q(u, k, W)` over the ingested history.
-    pub fn top_k(&self, scorer: &dyn OracleScorer, k: usize, w: Window) -> TopKResult {
+    pub fn top_k<S: OracleScorer + ?Sized>(&self, scorer: &S, k: usize, w: Window) -> TopKResult {
         self.index.top_k(&self.ds, scorer, k, w)
     }
 
     /// Historical `DurTop(k, I, τ)` over everything ingested so far, served
     /// by T-Hop (or S-Hop for `score_prioritized = true`) against the
     /// forest oracle.
-    pub fn query(
+    pub fn query<S: OracleScorer + ?Sized>(
         &self,
-        scorer: &dyn OracleScorer,
+        scorer: &S,
         query: &DurableQuery,
         score_prioritized: bool,
     ) -> QueryResult {
         struct ForestOracle<'a>(&'a AppendableTopKIndex);
         impl TopKOracle for ForestOracle<'_> {
-            fn top_k(
+            fn top_k_into<S: OracleScorer + ?Sized>(
                 &self,
                 ds: &Dataset,
-                scorer: &dyn OracleScorer,
+                scorer: &S,
                 k: usize,
                 w: Window,
-            ) -> TopKResult {
-                self.0.top_k(ds, scorer, k, w)
+                scratch: &mut OracleScratch,
+                out: &mut TopKResult,
+            ) {
+                self.0.top_k_with(ds, scorer, k, w, scratch, out);
             }
             fn queries_issued(&self) -> u64 {
                 self.0.counters().queries()
@@ -104,16 +131,22 @@ impl StreamingMonitor {
             }
         }
         let oracle = ForestOracle(&self.index);
+        let mut ctx = QueryContext::new();
         if score_prioritized {
-            s_hop(&self.ds, &oracle, scorer, query, RefillMode::TopK)
+            s_hop(&self.ds, &oracle, scorer, query, RefillMode::TopK, &mut ctx)
         } else {
-            t_hop(&self.ds, &oracle, scorer, query)
+            t_hop(&self.ds, &oracle, scorer, query, &mut ctx)
         }
     }
 
     /// Ids of the records currently in `π≤k` of the most recent τ-window
     /// (the "current champions" view of continuous monitoring).
-    pub fn current_top(&self, scorer: &dyn OracleScorer, k: usize, tau: Time) -> Vec<RecordId> {
+    pub fn current_top<S: OracleScorer + ?Sized>(
+        &self,
+        scorer: &S,
+        k: usize,
+        tau: Time,
+    ) -> Vec<RecordId> {
         if self.ds.is_empty() {
             return Vec::new();
         }

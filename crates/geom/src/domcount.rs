@@ -42,6 +42,13 @@ impl Fenwick {
         self.len() == 0
     }
 
+    /// Clears all counts and re-sizes the tree to address `0..len`,
+    /// reusing the existing allocation when the capacity suffices.
+    pub fn reset(&mut self, len: usize) {
+        self.tree.clear();
+        self.tree.resize(len + 1, 0);
+    }
+
     /// Adds `delta` at position `i` (0-based).
     #[inline]
     pub fn add(&mut self, i: usize, delta: i64) {

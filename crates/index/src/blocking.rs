@@ -33,6 +33,14 @@ pub struct BlockingSet {
     len: usize,
 }
 
+impl Default for BlockingSet {
+    /// An empty set over an empty domain; size it with
+    /// [`reset`](BlockingSet::reset) before use.
+    fn default() -> Self {
+        Self::new(0, 1)
+    }
+}
+
 impl BlockingSet {
     /// Creates an empty set over the time domain `[0, n)` for intervals of
     /// length `tau`.
@@ -44,6 +52,17 @@ impl BlockingSet {
             tie_score: f64::INFINITY,
             len: 0,
         }
+    }
+
+    /// Empties the set and re-sizes it for the time domain `[0, n)` with
+    /// intervals of length `tau`, reusing the Fenwick allocation — the
+    /// scratch-reuse path of the score-prioritized algorithms.
+    pub fn reset(&mut self, n: usize, tau: Time) {
+        self.fenwick.reset(n);
+        self.tau = tau;
+        self.tie_lefts.clear();
+        self.tie_score = f64::INFINITY;
+        self.len = 0;
     }
 
     /// Number of intervals inserted.

@@ -12,7 +12,7 @@
 //! This realizes the paper's claim that the index "supports updates in
 //! polylogarithmic time" for the append-heavy temporal setting.
 
-use crate::segtree::{OracleScorer, QueryCounters, SkylineSegTree, TopKResult};
+use crate::segtree::{OracleScorer, OracleScratch, QueryCounters, SkylineSegTree, TopKResult};
 use durable_topk_temporal::{Dataset, Time, Window};
 
 /// A forest of skyline segment trees supporting appends.
@@ -95,25 +95,55 @@ impl AppendableTopKIndex {
 
     /// Answers `Q(u, k, W)` over the forest.
     ///
+    /// Convenience wrapper over [`top_k_with`](AppendableTopKIndex::top_k_with)
+    /// that allocates fresh scratch.
+    ///
     /// # Panics
     /// Panics if `k == 0` or the index is empty.
-    pub fn top_k(
+    pub fn top_k<S: OracleScorer + ?Sized>(
         &self,
         ds: &Dataset,
-        scorer: &dyn OracleScorer,
+        scorer: &S,
         k: usize,
         w: Window,
     ) -> TopKResult {
+        let mut scratch = OracleScratch::new();
+        let mut out = TopKResult::empty();
+        self.top_k_with(ds, scorer, k, w, &mut scratch, &mut out);
+        out
+    }
+
+    /// Answers `Q(u, k, W)` over the forest into `out`, merging the per-tree
+    /// `π≤k` sets through the scratch's merge buffer (allocation-free once
+    /// warm).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the index is empty.
+    pub fn top_k_with<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
         assert!(!self.trees.is_empty(), "cannot query an empty index");
         self.counters.bump_queries();
-        let mut candidates = Vec::new();
+        // Collect per-tree results through `out`, accumulating in the merge
+        // buffer, then finalize the union in place.
+        let mut merge = std::mem::take(&mut scratch.merge);
+        merge.clear();
         for tree in &self.trees {
             if tree.coverage().intersect(w).is_some() {
-                let r = tree.top_k(ds, scorer, k, w);
-                candidates.extend(r.items);
+                tree.top_k_with(ds, scorer, k, w, scratch, out);
+                merge.append(&mut out.items);
             }
         }
-        TopKResult::finalize(candidates, k)
+        out.clear();
+        std::mem::swap(&mut out.items, &mut merge);
+        out.finalize_in_place(k);
+        scratch.merge = merge;
     }
 }
 

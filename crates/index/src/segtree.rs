@@ -178,7 +178,24 @@ pub struct TopKResult {
     pub kth_score: f64,
 }
 
+impl Default for TopKResult {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl TopKResult {
+    /// An empty result (`kth_score = -inf`), ready to be filled in place.
+    pub fn empty() -> Self {
+        Self { items: Vec::new(), kth_score: f64::NEG_INFINITY }
+    }
+
+    /// Clears the result for reuse, keeping the item buffer's capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.kth_score = f64::NEG_INFINITY;
+    }
+
     /// Whether a record scoring `score` belongs to `π≤k` of this window.
     ///
     /// Valid for records *inside* the queried window: membership is exactly
@@ -200,13 +217,24 @@ impl TopKResult {
 
     /// Builds a result from unsorted candidates: sorts best-first, derives
     /// the k-th score and drops everything strictly below it.
-    pub fn finalize(mut candidates: Vec<(RecordId, f64)>, k: usize) -> Self {
-        candidates.sort_unstable_by(|a, b| {
+    pub fn finalize(candidates: Vec<(RecordId, f64)>, k: usize) -> Self {
+        let mut out = Self { items: candidates, kth_score: f64::NEG_INFINITY };
+        out.finalize_in_place(k);
+        out
+    }
+
+    /// Finalizes `items` in place: sorts best-first (descending score,
+    /// ascending id), derives the k-th score and drops everything strictly
+    /// below it. The allocation-free counterpart of
+    /// [`finalize`](TopKResult::finalize).
+    pub fn finalize_in_place(&mut self, k: usize) {
+        self.items.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
         });
-        let kth_score = if candidates.len() >= k { candidates[k - 1].1 } else { f64::NEG_INFINITY };
-        candidates.retain(|&(_, s)| s >= kth_score);
-        Self { items: candidates, kth_score }
+        self.kth_score =
+            if self.items.len() >= k { self.items[k - 1].1 } else { f64::NEG_INFINITY };
+        let kth = self.kth_score;
+        self.items.retain(|&(_, s)| s >= kth);
     }
 }
 
@@ -273,6 +301,29 @@ impl PartialOrd for OrdF64 {
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reusable scratch space for [`SkylineSegTree::top_k_with`] and
+/// [`scan_top_k_into`]: the best-first node priority queue, the running
+/// best-k threshold heap, and a merge buffer used by composite indexes.
+///
+/// One instance per query thread; reusing it across calls removes every
+/// per-probe heap allocation from the oracle path.
+#[derive(Debug, Clone, Default)]
+pub struct OracleScratch {
+    /// Best-first frontier: (bound, node, window slice).
+    pq: BinaryHeap<(OrdF64, i32, Time, Time)>,
+    /// Min-heap over the best k scores seen; its top is the running s_k.
+    best_k: BinaryHeap<Reverse<OrdF64>>,
+    /// Candidate accumulation across forest trees (see `forest`).
+    pub(crate) merge: Vec<(RecordId, f64)>,
+}
+
+impl OracleScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -375,35 +426,59 @@ impl SkylineSegTree {
 
     /// Answers `Q(u, k, W)`: the top-k records (with ties) in the window.
     ///
-    /// The window is clamped to the tree's coverage; `None`-like empty
-    /// intersections yield an empty result with `kth_score = -inf`.
+    /// Convenience wrapper over [`top_k_with`](SkylineSegTree::top_k_with)
+    /// that allocates fresh scratch; hot paths should hold an
+    /// [`OracleScratch`] and call `top_k_with` directly.
     ///
     /// # Panics
     /// Panics if `k == 0`.
-    pub fn top_k(
+    pub fn top_k<S: OracleScorer + ?Sized>(
         &self,
         ds: &Dataset,
-        scorer: &dyn OracleScorer,
+        scorer: &S,
         k: usize,
         w: Window,
     ) -> TopKResult {
+        let mut scratch = OracleScratch::new();
+        let mut out = TopKResult::empty();
+        self.top_k_with(ds, scorer, k, w, &mut scratch, &mut out);
+        out
+    }
+
+    /// Answers `Q(u, k, W)` into `out`, drawing every internal heap and
+    /// buffer from `scratch` — the allocation-free oracle path.
+    ///
+    /// The window is clamped to the tree's coverage; empty intersections
+    /// yield an empty result with `kth_score = -inf`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn top_k_with<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
         assert!(k > 0, "k must be positive");
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        out.clear();
         let cover = self.coverage();
-        let Some(w) = cover.intersect(w) else {
-            return TopKResult { items: Vec::new(), kth_score: f64::NEG_INFINITY };
-        };
+        let Some(w) = cover.intersect(w) else { return };
 
         // Best-first search over canonical nodes. Heap entries carry the
         // node's admissible bound and the window slice it must scan (only
         // partial leaves differ from the node range).
-        let mut pq: BinaryHeap<(OrdF64, i32, Time, Time)> = BinaryHeap::new();
-        self.seed_canonical(ds, scorer, self.root, w, &mut pq);
+        let pq = &mut scratch.pq;
+        pq.clear();
+        self.seed_canonical(ds, scorer, self.root, w, pq);
 
-        let mut candidates: Vec<(RecordId, f64)> = Vec::with_capacity(k * 2);
-        // Min-heap over the best k scores seen: its top is the running
-        // threshold s_k.
-        let mut best_k: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::with_capacity(k + 1);
+        // Candidates accumulate directly in the output buffer.
+        let candidates = &mut out.items;
+        let best_k = &mut scratch.best_k;
+        best_k.clear();
         let mut scanned = 0u64;
         let mut opened = 0u64;
 
@@ -461,14 +536,14 @@ impl SkylineSegTree {
         }
         self.counters.nodes_opened.fetch_add(opened, Ordering::Relaxed);
         self.counters.records_scanned.fetch_add(scanned, Ordering::Relaxed);
-        TopKResult::finalize(candidates, k)
+        out.finalize_in_place(k);
     }
 
     /// Pushes the canonical decomposition of `w` under `node` into the heap.
-    fn seed_canonical(
+    fn seed_canonical<S: OracleScorer + ?Sized>(
         &self,
         ds: &Dataset,
-        scorer: &dyn OracleScorer,
+        scorer: &S,
         idx: i32,
         w: Window,
         pq: &mut BinaryHeap<(OrdF64, i32, Time, Time)>,
@@ -490,15 +565,32 @@ impl SkylineSegTree {
 ///
 /// Used as the correctness baseline in tests and as the fallback oracle for
 /// scorers without node bounds.
-pub fn scan_top_k(ds: &Dataset, scorer: &dyn Scorer, k: usize, w: Window) -> TopKResult {
+pub fn scan_top_k<S: Scorer + ?Sized>(ds: &Dataset, scorer: &S, k: usize, w: Window) -> TopKResult {
+    let mut out = TopKResult::empty();
+    scan_top_k_into(ds, scorer, k, w, &mut out);
+    out
+}
+
+/// [`scan_top_k`] into a caller-provided result buffer (allocation-free once
+/// the buffer is warm).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn scan_top_k_into<S: Scorer + ?Sized>(
+    ds: &Dataset,
+    scorer: &S,
+    k: usize,
+    w: Window,
+    out: &mut TopKResult,
+) {
     assert!(k > 0, "k must be positive");
+    out.clear();
     if ds.is_empty() || w.start() as usize >= ds.len() {
-        return TopKResult { items: Vec::new(), kth_score: f64::NEG_INFINITY };
+        return;
     }
     let w = w.clamp_to(ds.len());
-    let candidates: Vec<(RecordId, f64)> =
-        w.iter().map(|id| (id, scorer.score(ds.row(id)))).collect();
-    TopKResult::finalize(candidates, k)
+    out.items.extend(w.iter().map(|id| (id, scorer.score(ds.row(id)))));
+    out.finalize_in_place(k);
 }
 
 #[cfg(test)]

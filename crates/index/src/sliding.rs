@@ -20,13 +20,32 @@ pub struct SkybandBuffer {
 }
 
 impl SkybandBuffer {
+    /// Creates an empty buffer; fill it with
+    /// [`refill`](SkybandBuffer::refill).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, items: Vec::new() }
+    }
+
     /// Initializes the buffer from an oracle result.
     ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn from_result(k: usize, result: &TopKResult) -> Self {
-        assert!(k > 0, "k must be positive");
-        Self { k, items: result.items.clone() }
+        let mut buf = Self::new(k);
+        buf.refill(result);
+        buf
+    }
+
+    /// Replaces the maintained membership with a fresh oracle result,
+    /// reusing the internal buffer (the allocation-free recompute path of
+    /// T-Base).
+    pub fn refill(&mut self, result: &TopKResult) {
+        self.items.clear();
+        self.items.extend_from_slice(&result.items);
     }
 
     /// The k-th highest score in the window, `-inf` when fewer than `k`

@@ -99,13 +99,16 @@ fn cosine_scorer_works_with_general_algorithms() {
 }
 
 #[test]
-#[should_panic(expected = "monotone")]
-fn sband_rejects_cosine() {
-    let ds = Dataset::from_rows(2, [[1.0, 2.0], [2.0, 1.0]]);
+fn sband_with_cosine_falls_back_to_shop() {
+    // S-Band's pruning argument needs monotonicity; instead of panicking the
+    // engine degrades to S-Hop and flags the substitution.
+    let ds = Dataset::from_rows(2, [[1.0, 2.0], [2.0, 1.0], [0.5, 0.5], [3.0, 0.1]]);
     let engine = DurableTopKEngine::new(ds).with_skyband_index(2);
     let scorer = CosineScorer::new(vec![1.0, 1.0]);
-    let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 1) };
-    engine.query(Algorithm::SBand, &scorer, &q);
+    let q = DurableQuery { k: 1, tau: 2, interval: Window::new(0, 3) };
+    let got = engine.query(Algorithm::SBand, &scorer, &q);
+    assert!(got.stats.fallback, "non-monotone scorer must be served via fallback");
+    assert_eq!(got.records, engine.query(Algorithm::SHop, &scorer, &q).records);
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! expected-size law, and duration reporting across crates.
 
 use durable_topk::{
-    duration::max_duration, Algorithm, DurableQuery, DurableTopKEngine, LinearScorer,
+    duration::max_duration, Algorithm, DurableQuery, DurableTopKEngine, LinearScorer, QueryContext,
     SingleAttributeScorer, Window,
 };
 use durable_topk_store::{t_base_proc, t_hop_proc, RelStore};
@@ -115,8 +115,9 @@ fn max_duration_consistent_with_query_answers() {
     let q = DurableQuery { k, tau, interval: Window::new(500, 1_999) };
     let answers = engine.query(Algorithm::SHop, &scorer, &q);
     assert!(!answers.records.is_empty());
+    let mut ctx = QueryContext::new();
     for &id in answers.records.iter().take(20) {
-        let (dur, _) = max_duration(engine.dataset(), engine.oracle(), &scorer, id, k);
+        let (dur, _) = max_duration(engine.dataset(), engine.oracle(), &scorer, id, k, &mut ctx);
         assert!(dur >= tau, "answer {id} reports duration {dur} < queried tau {tau}");
     }
     // And a record *not* in the answer set must have duration < tau.
@@ -125,7 +126,8 @@ fn max_duration_consistent_with_query_answers() {
         .iter()
         .find(|t| !answers.records.contains(t))
         .expect("some record is non-durable");
-    let (dur, _) = max_duration(engine.dataset(), engine.oracle(), &scorer, non_answer, k);
+    let (dur, _) =
+        max_duration(engine.dataset(), engine.oracle(), &scorer, non_answer, k, &mut ctx);
     assert!(dur < tau, "non-answer {non_answer} reports duration {dur} >= {tau}");
 }
 
