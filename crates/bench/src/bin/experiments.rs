@@ -14,7 +14,7 @@ use durable_topk::{
 };
 use durable_topk_bench::{default_query, mean_std, measure, pm, query_pct, Config, TablePrinter};
 use durable_topk_store::{t_base_proc, t_hop_proc, RelStore};
-use durable_topk_temporal::{Dataset, DatasetStats, Scorer, Time};
+use durable_topk_temporal::{Dataset, DatasetStats, Time};
 use durable_topk_workloads::{
     anti, ind, nba_attribute, nba_like, network_like, preference_suite, random_permutation_dataset,
 };
@@ -421,7 +421,7 @@ fn store_path(name: &str) -> std::path::PathBuf {
 fn store_sweep(
     title: &str,
     store: &mut RelStore,
-    scorer: &dyn Scorer,
+    scorer: &LinearScorer,
     sweeps: &[(String, Window, Time)],
 ) {
     banner(title);

@@ -109,6 +109,53 @@ pub fn parse_algorithms(s: &str) -> Result<Vec<Algorithm>, String> {
     }
 }
 
+/// Options of the `--stream` replay mode: ingest the file record by
+/// record into a live sharded engine, interleaving appends and queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamMode {
+    /// Run a progress query every this many appends (`--every`; `None`
+    /// defaults to a tenth of the dataset).
+    pub every: Option<usize>,
+}
+
+/// Parses and validates the `--stream` replay flags.
+///
+/// Mirrors the `--threads` validation style: plain error strings naming
+/// the offending flag combination.
+pub fn parse_stream(args: &Args, algs: &[Algorithm]) -> Result<Option<StreamMode>, String> {
+    if !args.has("stream") {
+        if args.options.contains_key("every") || args.switches.iter().any(|s| s == "every") {
+            return Err("--every requires --stream".to_string());
+        }
+        return Ok(None);
+    }
+    if algs.len() > 1 {
+        return Err("--stream cannot be combined with --alg all".to_string());
+    }
+    if args.has("lookahead") {
+        return Err("--stream cannot be combined with --lookahead".to_string());
+    }
+    if args.has("durations") {
+        return Err("--stream cannot be combined with --durations".to_string());
+    }
+    if args.options.contains_key("threads") || args.switches.iter().any(|s| s == "threads") {
+        // Replay queries fan out through the global worker pool; a per-run
+        // worker cap is not honored, so reject it instead of ignoring it.
+        return Err("--stream cannot be combined with --threads".to_string());
+    }
+    let every = match args.options.get("every") {
+        None => None,
+        Some(v) => {
+            let every: usize = v.parse().map_err(|_| format!("--every: cannot parse {v:?}"))?;
+            if every == 0 {
+                return Err("--every must be at least 1".to_string());
+            }
+            Some(every)
+        }
+    };
+    Ok(Some(StreamMode { every }))
+}
+
 /// Largest worker count the CLI accepts (a typo guard, not a scheduler).
 pub const MAX_THREADS: usize = 1024;
 
@@ -173,5 +220,35 @@ mod tests {
         assert!(parse_threads(&parse("query f.csv --threads 9999")).is_err());
         assert!(parse_threads(&parse("query f.csv --threads -3")).is_err());
         assert!(parse_threads(&parse("query f.csv --threads many")).is_err());
+    }
+
+    #[test]
+    fn stream_validation() {
+        let one = [Algorithm::THop];
+        let all = Algorithm::ALL;
+        assert_eq!(parse_stream(&parse("query f.csv"), &one).expect("off"), None);
+        assert_eq!(
+            parse_stream(&parse("query f.csv --stream"), &one).expect("on"),
+            Some(StreamMode { every: None })
+        );
+        assert_eq!(
+            parse_stream(&parse("query f.csv --stream --every 500"), &one).expect("every"),
+            Some(StreamMode { every: Some(500) })
+        );
+        let err = parse_stream(&parse("query f.csv --stream"), &all).expect_err("alg all");
+        assert!(err.contains("--alg all"), "err={err}");
+        let err = parse_stream(&parse("query f.csv --stream --lookahead"), &one)
+            .expect_err("lookahead conflicts");
+        assert!(err.contains("--lookahead"), "err={err}");
+        let err = parse_stream(&parse("query f.csv --stream --durations"), &one)
+            .expect_err("durations conflicts");
+        assert!(err.contains("--durations"), "err={err}");
+        let err = parse_stream(&parse("query f.csv --stream --threads 4"), &one)
+            .expect_err("threads conflicts");
+        assert!(err.contains("--threads"), "err={err}");
+        assert!(parse_stream(&parse("query f.csv --stream --every 0"), &one).is_err());
+        assert!(parse_stream(&parse("query f.csv --stream --every lots"), &one).is_err());
+        let err = parse_stream(&parse("query f.csv --every 5"), &one).expect_err("orphan every");
+        assert!(err.contains("requires --stream"), "err={err}");
     }
 }

@@ -10,9 +10,10 @@
 
 mod args;
 
-use args::{parse_algorithms, parse_range, parse_threads, parse_weights, Args};
+use args::{parse_algorithms, parse_range, parse_stream, parse_threads, parse_weights, Args};
 use durable_topk::{
-    Algorithm, Anchor, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, Window,
+    Algorithm, Anchor, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, ShardedEngine,
+    Window,
 };
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
@@ -28,12 +29,16 @@ USAGE:
   durable-topk query    FILE --k K --tau T [--interval A:B] [--weights ..]
                              [--alg tbase|thop|sbase|sband|shop|shop1|all]
                              [--threads N] [--lookahead] [--durations] [--limit N]
+                             [--stream [--every M]]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
 uniform. `query` defaults to --alg shop over the whole history; --alg all
 sweeps every algorithm through the parallel batch executor (--threads 0 =
-use all cores).";
+use all cores). --stream replays the file into a live sharded engine,
+interleaving appends with a progress query every M arrivals (default: a
+tenth of the file); incompatible with --alg all, --lookahead, --durations,
+and --threads.";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -159,11 +164,16 @@ fn query(args: &Args) -> Result<(), String> {
     };
     let algs = parse_algorithms(args.get_or("alg", "shop"))?;
     let threads = parse_threads(args)?;
+    let stream = parse_stream(args, &algs)?;
     let scorer = scorer_for(args, ds.dim())?;
     let limit: usize = args.parse_or("limit", 50)?;
     let lookahead = args.has("lookahead");
     if lookahead && algs.len() > 1 {
         return Err("--alg all cannot be combined with --lookahead".to_string());
+    }
+    let q = DurableQuery { k, tau, interval };
+    if let Some(mode) = stream {
+        return stream_replay(&ds, algs[0], &scorer, &q, mode, limit);
     }
 
     let mut engine = DurableTopKEngine::new(ds);
@@ -173,7 +183,6 @@ fn query(args: &Args) -> Result<(), String> {
     if lookahead {
         engine = engine.with_lookahead();
     }
-    let q = DurableQuery { k, tau, interval };
 
     if algs.len() > 1 {
         return sweep(&engine, &algs, &scorer, &q, threads);
@@ -212,6 +221,83 @@ fn query(args: &Args) -> Result<(), String> {
                 engine.dataset().row(id)
             );
         }
+    }
+    if result.records.len() > limit {
+        println!("  … {} more (raise --limit)", result.records.len() - limit);
+    }
+    Ok(())
+}
+
+/// Replays the dataset record by record into a live [`ShardedEngine`]
+/// (`--stream`), interleaving appends with progress queries and finishing
+/// with the full query — the ingestion-time view of the same answer the
+/// offline path computes at rest.
+fn stream_replay(
+    ds: &durable_topk::Dataset,
+    alg: Algorithm,
+    scorer: &LinearScorer,
+    q: &DurableQuery,
+    mode: args::StreamMode,
+    limit: usize,
+) -> Result<(), String> {
+    let n = ds.len();
+    let every = mode.every.unwrap_or_else(|| (n / 10).max(1));
+    // A few durability windows per shard keeps sealing amortized while
+    // bounding per-shard index size.
+    let span = (q.tau as usize * 4).clamp(1_024, 262_144);
+    let mut engine = ShardedEngine::new_live(ds.dim(), span, q.tau);
+    if alg == Algorithm::SBand {
+        engine = engine.with_skyband_bound(q.k);
+    }
+
+    let started = std::time::Instant::now();
+    for id in 0..n as u32 {
+        engine.append(ds.row(id));
+        let ingested = id as usize + 1;
+        if ingested % every == 0 && ingested < n && (q.interval.start() as usize) < ingested {
+            let prefix = DurableQuery {
+                k: q.k,
+                tau: q.tau,
+                interval: Window::new(q.interval.start(), q.interval.end().min(id)),
+            };
+            let r = engine.query(alg, scorer, &prefix);
+            println!(
+                "  t={ingested:>9}: {:>6} durable so far ({} sealed shards, {} top-k queries)",
+                r.records.len(),
+                engine.sealed_shards(),
+                r.stats.topk_queries(),
+            );
+        }
+    }
+    let ingest = started.elapsed();
+    println!(
+        "ingested {n} records in {ingest:.2?} ({:.0} appends/s) across {} shards",
+        n as f64 / ingest.as_secs_f64().max(1e-9),
+        engine.shard_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let result = engine.query(alg, scorer, q);
+    let elapsed = started.elapsed();
+    println!(
+        "{} durable records (k={}, tau={}, I={}, {alg}) in {elapsed:.2?} — {} top-k queries{}",
+        result.records.len(),
+        q.k,
+        q.tau,
+        q.interval,
+        result.stats.topk_queries(),
+        if result.stats.fallback {
+            " (S-Band unavailable on the head; S-Hop served it)"
+        } else {
+            ""
+        },
+    );
+    for &id in result.records.iter().take(limit) {
+        println!(
+            "  t={id}  score={:.6}  attrs={:?}",
+            durable_topk::Scorer::score(scorer, ds.row(id)),
+            ds.row(id)
+        );
     }
     if result.records.len() > limit {
         println!("  … {} more (raise --limit)", result.records.len() - limit);

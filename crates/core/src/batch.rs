@@ -5,22 +5,24 @@
 //! settings at run-time, interactively or automatically") issue many queries
 //! against one index. All indexes here are read-only after construction and
 //! instrumented with atomic counters, so a single engine serves concurrent
-//! queries; [`BatchExecutor`] fans batches out over scoped worker threads,
-//! each owning one [`QueryContext`] so the hot path stays allocation-free
-//! across the whole batch.
+//! queries; [`BatchExecutor`] fans batches out over the persistent
+//! [`WorkerPool`], whose workers each own one long-lived [`QueryContext`] —
+//! the hot path stays allocation-free across the whole batch and issues no
+//! `thread::spawn` per query.
 
 use crate::context::QueryContext;
 use crate::engine::{Algorithm, DurableTopKEngine};
+use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryResult};
 use durable_topk_index::OracleScorer;
-use std::sync::Mutex;
 
 /// A reusable parallel executor for durable top-k query batches.
 ///
-/// Results are written through disjoint chunk borrows of the output vector:
-/// workers pop whole chunks from a shared queue (one lock acquisition per
-/// chunk, not per slot) and fill their chunk exclusively. Each worker reuses
-/// a single [`QueryContext`] for every query it runs.
+/// Batches run on the process-wide persistent [`WorkerPool`]: results are
+/// written through disjoint chunk borrows of the output vector (one lock
+/// acquisition per chunk, not per slot), each participating worker reuses
+/// its own long-lived [`QueryContext`], and no threads are spawned per
+/// batch — `threads` only caps how many pool workers participate.
 ///
 /// ```
 /// use durable_topk::{Algorithm, BatchExecutor, DurableQuery, DurableTopKEngine};
@@ -107,51 +109,13 @@ impl BatchExecutor {
     }
 
     /// Shared fan-out machinery: evaluates `job(i, ctx)` for `i in 0..jobs`
-    /// with one context per worker and disjoint chunk output borrows.
+    /// on the persistent pool, capped at the executor's thread count.
     fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, &mut QueryContext) -> T + Sync,
     {
-        if jobs == 0 {
-            return Vec::new();
-        }
-        let threads = self.resolved_threads(jobs);
-        if threads == 1 {
-            let mut ctx = QueryContext::new();
-            return (0..jobs).map(|i| job(i, &mut ctx)).collect();
-        }
-
-        let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-        // Disjoint chunk borrows: each queue entry owns an exclusive slice
-        // of the output. Several chunks per worker keep the load balanced
-        // when per-query costs are skewed.
-        let chunk_len = jobs.div_ceil(threads * 4);
-        /// An exclusive output chunk: global offset plus its result slots.
-        type Chunk<'a, T> = (usize, &'a mut [Option<T>]);
-        let queue: Mutex<Vec<Chunk<'_, T>>> = Mutex::new(
-            results
-                .chunks_mut(chunk_len)
-                .enumerate()
-                .map(|(c, slice)| (c * chunk_len, slice))
-                .collect(),
-        );
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut ctx = QueryContext::new();
-                    loop {
-                        let Some((offset, slice)) = queue.lock().expect("chunk queue").pop() else {
-                            break;
-                        };
-                        for (i, slot) in slice.iter_mut().enumerate() {
-                            *slot = Some(job(offset + i, &mut ctx));
-                        }
-                    }
-                });
-            }
-        });
-        results.into_iter().map(|r| r.expect("every chunk drained by a worker")).collect()
+        WorkerPool::global().run_jobs(jobs, self.resolved_threads(jobs.max(1)), job)
     }
 }
 

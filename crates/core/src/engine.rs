@@ -91,6 +91,18 @@ impl DurableTopKEngine {
         Self { ds, oracle, skyband: None, reversed: None }
     }
 
+    /// Assembles an engine from a dataset and an already-built oracle —
+    /// the shard-sealing path, where a head shard's forest collapses into
+    /// the tree the sealed shard serves (moved outright when the forest
+    /// already holds a single tree).
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn from_parts(ds: Dataset, oracle: SegTreeOracle) -> Self {
+        assert!(!ds.is_empty(), "cannot build an engine over an empty dataset");
+        Self { ds, oracle, skyband: None, reversed: None }
+    }
+
     /// Adds the durable k-skyband index serving queries with `k <= k_max`
     /// (rounded up to a power of two), enabling [`Algorithm::SBand`].
     pub fn with_skyband_index(mut self, k_max: usize) -> Self {

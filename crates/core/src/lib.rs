@@ -45,6 +45,7 @@ pub mod context;
 pub mod duration;
 pub mod engine;
 pub mod oracle;
+pub mod pool;
 pub mod query;
 pub mod sharded;
 pub mod streaming;
@@ -52,7 +53,8 @@ pub mod streaming;
 pub use batch::{batch_query, BatchExecutor};
 pub use context::QueryContext;
 pub use engine::{Algorithm, DurableTopKEngine};
-pub use oracle::{ScanOracle, SegTreeOracle, TopKOracle};
+pub use oracle::{ForestOracle, ScanOracle, SegTreeOracle, TopKOracle};
+pub use pool::WorkerPool;
 pub use query::{DurableQuery, QueryResult, QueryStats};
 pub use sharded::ShardedEngine;
 pub use streaming::StreamingMonitor;

@@ -20,7 +20,7 @@
 //!   reference, and the fallback when no index has been built).
 
 use durable_topk_index::{
-    scan_top_k_into, OracleScorer, OracleScratch, SkylineSegTree, TopKResult,
+    scan_top_k_into, AppendableTopKIndex, OracleScorer, OracleScratch, SkylineSegTree, TopKResult,
 };
 use durable_topk_temporal::{Dataset, Window};
 use std::cell::Cell;
@@ -85,6 +85,12 @@ impl SegTreeOracle {
         Self { tree: SkylineSegTree::with_leaf_size(ds, leaf_size) }
     }
 
+    /// Wraps an already-built tree — the shard-sealing path, where the
+    /// appendable forest collapses into the tree this oracle serves.
+    pub fn from_tree(tree: SkylineSegTree) -> Self {
+        Self { tree }
+    }
+
     /// Access to the underlying tree (extra instrumentation).
     pub fn tree(&self) -> &SkylineSegTree {
         &self.tree
@@ -110,6 +116,43 @@ impl TopKOracle for SegTreeOracle {
 
     fn reset_counters(&self) {
         self.tree.counters().reset();
+    }
+}
+
+/// Oracle backed by a borrowed appendable segment-tree forest — the
+/// building block of the mutable *head shard* during live ingestion (see
+/// [`ShardedEngine`](crate::ShardedEngine)).
+#[derive(Debug)]
+pub struct ForestOracle<'a> {
+    index: &'a AppendableTopKIndex,
+}
+
+impl<'a> ForestOracle<'a> {
+    /// Wraps a forest index for use as a durable top-k building block.
+    pub fn new(index: &'a AppendableTopKIndex) -> Self {
+        Self { index }
+    }
+}
+
+impl TopKOracle for ForestOracle<'_> {
+    fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
+        self.index.top_k_with(ds, scorer, k, w, scratch, out);
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.index.counters().queries()
+    }
+
+    fn reset_counters(&self) {
+        self.index.counters().reset();
     }
 }
 

@@ -1,0 +1,441 @@
+//! A persistent worker pool for the parallel execution layer.
+//!
+//! PR 2 parallelized batch queries and shard fan-out with scoped
+//! `thread::spawn`, paying thread-creation cost (~10 µs per worker) on
+//! every query. This module replaces those spawns with a pool of
+//! long-lived workers: each worker owns one [`QueryContext`] for its whole
+//! lifetime, so the allocation-free pipeline stays warm *across* queries,
+//! not just within one, and the query path issues zero `thread::spawn`
+//! calls. Batches reach the workers through a channel of wake-up tokens;
+//! the actual work items live in a per-batch chunk queue that workers and
+//! the submitting thread drain cooperatively.
+//!
+//! The submitting thread always participates in its own batch, so a busy
+//! (or small) pool degrades to caller-inline execution instead of queueing
+//! behind unrelated work, and nested submissions cannot deadlock: whoever
+//! submitted the batch can always finish it alone.
+//!
+//! One process-wide pool ([`WorkerPool::global`]) is shared by
+//! [`BatchExecutor`](crate::BatchExecutor) and
+//! [`ShardedEngine`](crate::ShardedEngine); dedicated pools can be built
+//! for tests or isolation.
+
+use crate::context::QueryContext;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Worker threads spawned by every pool in this process, cumulatively.
+///
+/// The regression guard for "the query path spawns nothing" reads this
+/// before and after a query storm and asserts it stayed flat.
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Locks a mutex, ignoring poisoning (pool state stays consistent because
+/// user panics are caught at chunk granularity before they can tear any
+/// invariant).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One batch's work, type-erased. The object lives on the submitting
+/// thread's stack; the pool only dereferences it under the visitor
+/// protocol of [`Batch`].
+trait Work: Sync {
+    /// Pops one chunk and runs it; `Ok(false)` when the queue is empty,
+    /// `Err(payload)` if the chunk's job panicked.
+    fn run_chunk(&self, ctx: &mut QueryContext) -> Result<bool, Box<dyn Any + Send>>;
+
+    /// Discards all queued chunks (after a panic), returning how many.
+    fn abort(&self) -> usize;
+}
+
+/// Typed work: the job closure plus a queue of disjoint output chunks.
+///
+/// Results are written through exclusive chunk borrows of the output
+/// vector: participants pop whole chunks (one lock acquisition per chunk,
+/// not per slot) and fill their chunk exclusively, so results arrive in
+/// input order with no per-slot synchronization.
+/// An exclusive output chunk: global offset plus its result slots.
+type Chunk<'a, T> = (usize, &'a mut [Option<T>]);
+
+struct TypedWork<'a, T, F> {
+    job: &'a F,
+    /// Exclusive output chunks, popped by participants.
+    queue: Mutex<Vec<Chunk<'a, T>>>,
+}
+
+impl<T, F> Work for TypedWork<'_, T, F>
+where
+    T: Send,
+    F: Fn(usize, &mut QueryContext) -> T + Sync,
+{
+    fn run_chunk(&self, ctx: &mut QueryContext) -> Result<bool, Box<dyn Any + Send>> {
+        let Some((offset, slice)) = lock(&self.queue).pop() else {
+            return Ok(false);
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            for (i, slot) in slice.iter_mut().enumerate() {
+                *slot = Some((self.job)(offset + i, ctx));
+            }
+        }))
+        .map(|()| true)
+    }
+
+    fn abort(&self) -> usize {
+        let mut q = lock(&self.queue);
+        let n = q.len();
+        q.clear();
+        n
+    }
+}
+
+/// Progress accounting for one in-flight batch.
+struct BatchState {
+    /// Chunks not yet completed (queued plus in flight).
+    pending: usize,
+    /// Threads currently inside the batch (may dereference `work`).
+    visitors: usize,
+}
+
+/// A submitted batch: shared progress state plus a raw pointer to the
+/// caller-owned [`Work`].
+///
+/// # Safety protocol
+///
+/// `work` points into the stack frame of [`WorkerPool::run_jobs`], which
+/// does not return until `pending == 0 && visitors == 0`. A thread may
+/// dereference `work` only between registering as a visitor (under the
+/// state lock, having observed `pending > 0`) and deregistering. Wake-up
+/// tokens that arrive after the batch completed observe `pending == 0`
+/// and never touch `work`, so stale tokens in the channel are harmless.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+    /// First panic payload observed by any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    work: *const dyn Work,
+}
+
+// SAFETY: the raw `work` pointer is only dereferenced under the visitor
+// protocol documented on `Batch`; all other state is lock-protected.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Drains chunks from the batch until its queue is empty, then
+    /// deregisters. Safe to call at any time, including after completion.
+    fn participate(&self, ctx: &mut QueryContext) {
+        {
+            let mut s = lock(&self.state);
+            if s.pending == 0 {
+                return; // stale wake-up: the batch already completed
+            }
+            s.visitors += 1;
+        }
+        // SAFETY: `pending > 0` while we registered as a visitor, so the
+        // submitting frame is still alive and stays alive until we
+        // deregister (it waits for `visitors == 0`).
+        let work = unsafe { &*self.work };
+        loop {
+            match work.run_chunk(ctx) {
+                Ok(true) => {
+                    let mut s = lock(&self.state);
+                    s.pending -= 1;
+                    if s.pending == 0 {
+                        self.done.notify_all();
+                    }
+                }
+                Ok(false) => break,
+                Err(payload) => {
+                    let discarded = work.abort();
+                    let mut first = lock(&self.panic);
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                    drop(first);
+                    let mut s = lock(&self.state);
+                    s.pending -= 1 + discarded;
+                    if s.pending == 0 {
+                        self.done.notify_all();
+                    }
+                    break;
+                }
+            }
+        }
+        let mut s = lock(&self.state);
+        s.visitors -= 1;
+        if s.pending == 0 && s.visitors == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every chunk completed and every participant left.
+    fn wait(&self) {
+        let mut s = lock(&self.state);
+        while s.pending > 0 || s.visitors > 0 {
+            s = self.done.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A pool of persistent worker threads, each owning one [`QueryContext`].
+///
+/// Submitting a batch costs channel sends (wake-up tokens), not thread
+/// spawns; workers persist across batches and queries. See the module
+/// docs for the cooperative draining model.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Wake-up channel; `None` only during drop.
+    injector: Option<Sender<Arc<Batch>>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    /// Contexts loaned to submitting threads for their own participation,
+    /// so repeated batches from the same caller stay allocation-free too.
+    spares: Mutex<Vec<QueryContext>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers (`0` = available
+    /// parallelism). This is the only place the execution layer creates
+    /// threads.
+    pub fn new(threads: usize) -> Self {
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let (tx, rx) = channel::<Arc<Batch>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("durable-topk-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        THREADS_SPAWNED.fetch_add(workers as u64, Ordering::Relaxed);
+        Self { injector: Some(tx), handles, workers, spares: Mutex::new(Vec::new()) }
+    }
+
+    /// The process-wide pool shared by [`BatchExecutor`](crate::BatchExecutor)
+    /// and [`ShardedEngine`](crate::ShardedEngine), created on first use
+    /// with one worker per available core.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative worker threads spawned by every pool in this process.
+    ///
+    /// Flat across queries by construction: only [`WorkerPool::new`]
+    /// spawns, and the global pool is created once.
+    pub fn threads_spawned() -> u64 {
+        THREADS_SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates `job(i, ctx)` for `i in 0..jobs` with at most
+    /// `parallelism` concurrent participants, returning results in input
+    /// order. `parallelism <= 1` runs inline on the calling thread.
+    ///
+    /// Worker contexts persist across calls; the calling thread borrows a
+    /// context from the pool's spare list, so steady-state batches
+    /// allocate only their output vector.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised by any job.
+    pub fn run_jobs<T, F>(&self, jobs: usize, parallelism: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut QueryContext) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let parallelism = parallelism.clamp(1, jobs);
+        let mut ctx = self.checkout();
+        if parallelism == 1 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                (0..jobs).map(|i| job(i, &mut ctx)).collect::<Vec<T>>()
+            }));
+            self.give_back(ctx);
+            return result.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+
+        let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        // Several chunks per participant keep the load balanced when
+        // per-job costs are skewed.
+        let chunk_len = jobs.div_ceil(parallelism * 4);
+        let typed = TypedWork {
+            job: &job,
+            queue: Mutex::new(
+                results
+                    .chunks_mut(chunk_len)
+                    .enumerate()
+                    .map(|(c, slice)| (c * chunk_len, slice))
+                    .collect(),
+            ),
+        };
+        let pending = lock(&typed.queue).len();
+        // SAFETY: widen the borrow to 'static for storage in `Batch`; the
+        // protocol on `Batch` guarantees no dereference outlives `typed`.
+        let work: *const dyn Work = unsafe {
+            std::mem::transmute::<*const (dyn Work + '_), *const (dyn Work + 'static)>(
+                &typed as &dyn Work as *const (dyn Work + '_),
+            )
+        };
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState { pending, visitors: 0 }),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+            work,
+        });
+        let helpers = (parallelism - 1).min(self.workers);
+        if let Some(tx) = &self.injector {
+            for _ in 0..helpers {
+                // A send can only fail if every worker exited (pool mid-
+                // drop); the caller then drains the batch alone.
+                let _ = tx.send(Arc::clone(&batch));
+            }
+        }
+        batch.participate(&mut ctx);
+        batch.wait();
+        self.give_back(ctx);
+        if let Some(payload) = lock(&batch.panic).take() {
+            std::panic::resume_unwind(payload);
+        }
+        results.into_iter().map(|r| r.expect("every chunk drained")).collect()
+    }
+
+    /// Borrows a spare context (or creates one on cold start).
+    fn checkout(&self) -> QueryContext {
+        lock(&self.spares).pop().unwrap_or_default()
+    }
+
+    /// Returns a borrowed context to the spare list.
+    fn give_back(&self, ctx: QueryContext) {
+        lock(&self.spares).push(ctx);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every idle worker with a disconnect.
+        drop(self.injector.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker: one persistent context, fed wake-up tokens until the pool
+/// closes its channel.
+fn worker_loop(rx: &Mutex<Receiver<Arc<Batch>>>) {
+    let mut ctx = QueryContext::new();
+    loop {
+        // Holding the lock while blocked is the classic shared-receiver
+        // pattern: exactly one idle worker waits at a time, the rest queue
+        // on the mutex, and every token wakes exactly one of them.
+        let token = lock(rx).recv();
+        match token {
+            Ok(batch) => batch.participate(&mut ctx),
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run_jobs(100, 3, |i, _ctx| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelism_one_runs_inline() {
+        let pool = WorkerPool::new(2);
+        let main_thread = std::thread::current().id();
+        let out = pool.run_jobs(5, 1, |i, _ctx| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_batches_return_empty() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<u32> = pool.run_jobs(0, 4, |_, _| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let pool = WorkerPool::new(2);
+        let before = WorkerPool::threads_spawned();
+        for round in 0..20usize {
+            let out = pool.run_jobs(17, 4, move |i, _ctx| i + round);
+            assert_eq!(out[16], 16 + round);
+        }
+        assert_eq!(WorkerPool::threads_spawned(), before, "batches must not spawn");
+    }
+
+    #[test]
+    fn panics_propagate_and_leave_the_pool_usable() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_jobs(8, 4, |i, _ctx| {
+                assert!(i != 5, "job five exploded");
+                i
+            })
+        }));
+        let payload = caught.expect_err("the job panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic message");
+        assert!(msg.contains("job five exploded"), "msg={msg}");
+        // The pool survives: workers caught the unwind at chunk level.
+        assert_eq!(pool.run_jobs(4, 4, |i, _ctx| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let out = pool.run_jobs(257, 4, |i, _ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn nested_submission_completes() {
+        // A batch job that itself submits to the same pool must finish
+        // even when every worker is busy: submitters drain their own work.
+        let pool = WorkerPool::new(1);
+        let out = pool.run_jobs(3, 3, |i, _ctx| {
+            let inner = WorkerPool::global().run_jobs(4, 2, |j, _ctx| j * 10);
+            inner[i] + i
+        });
+        assert_eq!(out, vec![0, 11, 22]);
+    }
+}

@@ -1,4 +1,4 @@
-//! A time-sharded durable top-k engine.
+//! A time-sharded durable top-k engine with live ingestion.
 //!
 //! Durable top-k queries decompose naturally along arrival time: a record's
 //! durability window `[p.t − τ, p.t]` only looks *backwards*, so a shard
@@ -6,22 +6,38 @@
 //! sub-dataset extended `max_tau` records to the left — the overlap region
 //! supplies every potential blocker without any cross-shard communication.
 //!
-//! [`ShardedEngine`] partitions one dataset into contiguous time shards,
-//! builds an independent [`DurableTopKEngine`] per shard **in parallel**
-//! (index construction is the dominant setup cost at production scale), and
-//! fans `DurTop(k, I, τ)` out across the shards owning a piece of `I`, each
-//! worker running with its own [`QueryContext`]. Per-shard answers are
-//! mapped back to global record ids and merged; the result is
-//! record-for-record identical to the unsharded engine for every `τ ≤
-//! max_tau`.
+//! The paper's setting is inherently temporal: records keep arriving in
+//! time order. [`ShardedEngine`] therefore treats sharding and ingestion as
+//! one system:
+//!
+//! * **Sealed tail shards** are immutable [`DurableTopKEngine`]s over
+//!   contiguous time ranges, each extended `max_tau` records to the left.
+//! * **One mutable head shard** receives [`append`](ShardedEngine::append)s,
+//!   indexed incrementally by the appendable segment-tree forest
+//!   ([`AppendableTopKIndex`]). When the head has accumulated `shard_span`
+//!   owned records it is *sealed*: its forest collapses into a regular
+//!   segment tree, the head becomes the next tail shard, and a fresh head
+//!   starts with the trailing `max_tau` records as left context —
+//!   preserving the overlap invariant, so queries stay exact for any
+//!   `τ ≤ max_tau` at every point of the ingestion timeline.
+//!
+//! Queries fan `DurTop(k, I, τ)` out across the shards owning a piece of
+//! `I` through the persistent [`WorkerPool`] (no `thread::spawn` on the
+//! query path; each worker reuses its own [`QueryContext`]); per-shard
+//! answers are mapped back to global record ids and merged. The result is
+//! record-for-record identical to an unsharded engine over the same
+//! history for every `τ ≤ max_tau`.
 
+use crate::algorithms::{s_base, s_hop, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::engine::{Algorithm, DurableTopKEngine};
+use crate::oracle::{ForestOracle, SegTreeOracle};
+use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
-use durable_topk_index::OracleScorer;
-use durable_topk_temporal::{Dataset, Time, Window};
+use durable_topk_index::{AppendableTopKIndex, OracleScorer, TopKResult, DEFAULT_LEAF_SIZE};
+use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 
-/// One contiguous time shard: an engine over `[ext_lo, hi]` that *owns*
+/// One sealed time shard: an engine over `[ext_lo, hi]` that *owns*
 /// (reports answers for) `[lo, hi]`.
 #[derive(Debug)]
 struct Shard {
@@ -34,18 +50,100 @@ struct Shard {
     hi: Time,
 }
 
-/// A dataset partitioned into per-shard engines for parallel index build
-/// and fan-out queries.
+/// The mutable ingestion shard: `max_tau` records of left context plus
+/// every record appended since the last seal, indexed by the appendable
+/// forest.
+#[derive(Debug)]
+struct Head {
+    ds: Dataset,
+    index: AppendableTopKIndex,
+    /// Global id of the head sub-dataset's first row.
+    ext_lo: Time,
+    /// First global id the head owns (earlier rows are context).
+    lo: Time,
+}
+
+impl Head {
+    /// An empty head whose first owned record will be global id `at`.
+    fn empty(dim: usize, leaf_size: usize, at: usize) -> Self {
+        Self {
+            ds: Dataset::new(dim),
+            index: AppendableTopKIndex::new(leaf_size),
+            ext_lo: at as Time,
+            lo: at as Time,
+        }
+    }
+}
+
+/// A durable top-k engine over contiguous time shards with an appendable
+/// head, serving parallel fan-out queries through the persistent worker
+/// pool.
 #[derive(Debug)]
 pub struct ShardedEngine {
-    shards: Vec<Shard>,
+    tails: Vec<Shard>,
+    head: Head,
+    /// Owned records per sealed shard.
+    shard_span: usize,
     max_tau: Time,
     len: usize,
+    dim: usize,
+    /// Skyband build bound applied to shards sealed from now on.
+    k_max: Option<usize>,
+    /// Leaf granularity of the head forest and sealed trees.
+    leaf_size: usize,
 }
 
 impl ShardedEngine {
+    /// Creates an empty, appendable engine: records arrive via
+    /// [`append`](ShardedEngine::append), shards seal every `shard_span`
+    /// records, and queries are exact for `τ ≤ max_tau`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `shard_span == 0` or `max_tau == 0`.
+    pub fn new_live(dim: usize, shard_span: usize, max_tau: Time) -> Self {
+        Self::new_live_with_leaf(dim, shard_span, max_tau, DEFAULT_LEAF_SIZE)
+    }
+
+    /// As [`new_live`](ShardedEngine::new_live) with an explicit index
+    /// leaf granularity (streaming callers ingesting few records per query
+    /// may prefer smaller leaves).
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new_live_with_leaf(
+        dim: usize,
+        shard_span: usize,
+        max_tau: Time,
+        leaf_size: usize,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(shard_span > 0, "shard_span must be positive");
+        assert!(max_tau > 0, "max_tau must be positive");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        Self {
+            tails: Vec::new(),
+            head: Head::empty(dim, leaf_size, 0),
+            shard_span,
+            max_tau,
+            len: 0,
+            dim,
+            k_max: None,
+            leaf_size,
+        }
+    }
+
+    /// Requests a durable k-skyband index (enabling [`Algorithm::SBand`]
+    /// without fallback) on every shard sealed from now on, for
+    /// `k <= k_max`.
+    pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
+        self.k_max = Some(k_max);
+        self
+    }
+
     /// Partitions `ds` into `shard_count` contiguous time shards (capped at
-    /// the dataset size) and builds each shard's engine in parallel.
+    /// the dataset size) and builds each shard's engine in parallel on the
+    /// worker pool. The engine stays appendable: new arrivals land in a
+    /// fresh head shard primed with the trailing `max_tau` records.
     ///
     /// `max_tau` bounds the durability window length the sharded engine can
     /// serve exactly: every shard keeps `max_tau` records of left context,
@@ -81,8 +179,9 @@ impl ShardedEngine {
         // no degenerate (empty) shard is emitted.
         let shard_count = n.div_ceil(per_shard);
 
-        // Slice the owned ranges, then build every shard engine in parallel:
-        // each worker copies its extended sub-range and indexes it.
+        // Slice the owned ranges, then build every shard engine in
+        // parallel on the worker pool: each job copies its extended
+        // sub-range and indexes it.
         let ranges: Vec<(Time, Time, Time)> = (0..shard_count)
             .map(|s| {
                 let lo = (s * per_shard) as Time;
@@ -90,34 +189,97 @@ impl ShardedEngine {
                 (lo.saturating_sub(max_tau), lo, hi)
             })
             .collect();
-        let shards = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(ext_lo, lo, hi)| {
-                    scope.spawn(move || {
-                        let mut sub = Dataset::with_capacity(ds.dim(), (hi - ext_lo + 1) as usize);
-                        for id in ext_lo..=hi {
-                            sub.push(ds.row(id));
-                        }
-                        let mut engine = DurableTopKEngine::new(sub);
-                        if let Some(k_max) = k_max {
-                            engine = engine.with_skyband_index(k_max);
-                        }
-                        Shard { engine, ext_lo, lo, hi }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
+        let tails = WorkerPool::global().run_jobs(ranges.len(), ranges.len(), |s, _ctx| {
+            let (ext_lo, lo, hi) = ranges[s];
+            let mut sub = Dataset::with_capacity(ds.dim(), (hi - ext_lo + 1) as usize);
+            for id in ext_lo..=hi {
+                sub.push(ds.row(id));
+            }
+            let mut engine = DurableTopKEngine::new(sub);
+            if let Some(k_max) = k_max {
+                engine = engine.with_skyband_index(k_max);
+            }
+            Shard { engine, ext_lo, lo, hi }
         });
-        Self { shards, max_tau, len: n }
+
+        // Prime an empty head with the trailing max_tau records as context.
+        let mut engine = Self {
+            tails,
+            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, n),
+            shard_span: per_shard,
+            max_tau,
+            len: n,
+            dim: ds.dim(),
+            k_max,
+            leaf_size: DEFAULT_LEAF_SIZE,
+        };
+        engine.head = engine.fresh_head(|i| ds.row(i as Time), n);
+        engine
     }
 
-    /// Number of shards.
+    /// Builds a head whose context is the trailing `max_tau` of the first
+    /// `n` global records, read through `row`.
+    fn fresh_head<'a>(&self, row: impl Fn(usize) -> &'a [f64], n: usize) -> Head {
+        let ctx_len = (self.max_tau as usize).min(n);
+        let mut ds = Dataset::with_capacity(self.dim, ctx_len + self.shard_span);
+        for i in (n - ctx_len)..n {
+            ds.push(row(i));
+        }
+        let index = AppendableTopKIndex::build(&ds, self.leaf_size);
+        Head { ds, index, ext_lo: (n - ctx_len) as Time, lo: n as Time }
+    }
+
+    /// Ingests one record, returning its global id. The record lands in
+    /// the head shard's forest in amortized polylogarithmic time; every
+    /// `shard_span` appends the head seals into an immutable tail shard.
+    ///
+    /// # Panics
+    /// Panics if the attribute arity mismatches.
+    pub fn append(&mut self, attrs: &[f64]) -> RecordId {
+        assert_eq!(attrs.len(), self.dim, "attribute arity mismatch");
+        let id = self.len as RecordId;
+        self.head.ds.push(attrs);
+        self.head.index.append(&self.head.ds);
+        self.len += 1;
+        if self.head_owned() >= self.shard_span {
+            self.seal_head();
+        }
+        id
+    }
+
+    /// Records currently owned by the mutable head.
+    fn head_owned(&self) -> usize {
+        self.len - self.head.lo as usize
+    }
+
+    /// Freezes the head into a tail shard (collapsing its forest into one
+    /// segment tree, no copy of the sub-dataset) and starts a fresh head
+    /// whose context is the trailing `max_tau` records.
+    fn seal_head(&mut self) {
+        let hi = (self.len - 1) as Time;
+        let head =
+            std::mem::replace(&mut self.head, Head::empty(self.dim, self.leaf_size, self.len));
+        let oracle = SegTreeOracle::from_tree(head.index.seal(&head.ds));
+        let mut engine = DurableTopKEngine::from_parts(head.ds, oracle);
+        if let Some(k_max) = self.k_max {
+            engine = engine.with_skyband_index(k_max);
+        }
+        self.tails.push(Shard { engine, ext_lo: head.ext_lo, lo: head.lo, hi });
+        // The sealed sub-dataset always reaches back max_tau records (or to
+        // time zero), so its tail is exactly the new head's context.
+        let sealed = self.tails.last().expect("just sealed").engine.dataset();
+        let base = self.len - sealed.len();
+        self.head = self.fresh_head(|i| sealed.row((i - base) as RecordId), self.len);
+    }
+
+    /// Number of shards (sealed tails plus the head when it owns records).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.tails.len() + usize::from(self.head_owned() > 0)
+    }
+
+    /// Number of sealed (immutable) shards.
+    pub fn sealed_shards(&self) -> usize {
+        self.tails.len()
     }
 
     /// Records covered by the sharded engine.
@@ -125,8 +287,7 @@ impl ShardedEngine {
         self.len
     }
 
-    /// Whether the engine covers no records (never true: construction
-    /// rejects empty datasets).
+    /// Whether the engine covers no records.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -137,9 +298,13 @@ impl ShardedEngine {
     }
 
     /// Answers `DurTop(k, I, τ)` by fanning out over the shards owning a
-    /// piece of `I` (one thread and one [`QueryContext`] per shard) and
-    /// merging the per-shard answers. Identical to
-    /// [`DurableTopKEngine::query`] for `τ ≤ max_tau`.
+    /// piece of `I` through the persistent worker pool (one job and one
+    /// reused [`QueryContext`] per shard) and merging the per-shard
+    /// answers. Identical to [`DurableTopKEngine::query`] over the same
+    /// history for `τ ≤ max_tau`.
+    ///
+    /// On the mutable head, [`Algorithm::SBand`] is served by S-Hop with
+    /// [`QueryStats::fallback`] set (the head carries no skyband index).
     ///
     /// # Panics
     /// Panics on invalid parameters or if `query.tau > self.max_tau()` (the
@@ -159,64 +324,169 @@ impl ShardedEngine {
         query.validate(self.len);
         let interval = query.interval.clamp_to(self.len);
 
-        // Localize the query per intersecting shard.
-        let jobs: Vec<(&Shard, DurableQuery)> = self
-            .shards
+        /// One fan-out unit: a shard (or the head) plus its localized query.
+        enum Job<'a> {
+            Tail(&'a Shard, DurableQuery),
+            Head(DurableQuery),
+        }
+        let localize = |piece: Window, ext_lo: Time| DurableQuery {
+            k: query.k,
+            tau: query.tau,
+            interval: Window::new(piece.start() - ext_lo, piece.end() - ext_lo),
+        };
+        let mut jobs: Vec<Job<'_>> = self
+            .tails
             .iter()
             .filter_map(|shard| {
                 let piece = interval.intersect(Window::new(shard.lo, shard.hi))?;
-                let local = DurableQuery {
-                    k: query.k,
-                    tau: query.tau,
-                    interval: Window::new(piece.start() - shard.ext_lo, piece.end() - shard.ext_lo),
-                };
-                Some((shard, local))
+                Some(Job::Tail(shard, localize(piece, shard.ext_lo)))
             })
             .collect();
+        if self.head_owned() > 0 {
+            let owned = Window::new(self.head.lo, (self.len - 1) as Time);
+            if let Some(piece) = interval.intersect(owned) {
+                jobs.push(Job::Head(localize(piece, self.head.ext_lo)));
+            }
+        }
 
-        let partials: Vec<QueryResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|(shard, local)| {
-                    scope.spawn(move || {
-                        shard.engine.query_with(alg, scorer, local, &mut QueryContext::new())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        });
+        let partials =
+            WorkerPool::global().run_jobs(jobs.len(), jobs.len(), |i, ctx| match &jobs[i] {
+                Job::Tail(shard, local) => shard.engine.query_with(alg, scorer, local, ctx),
+                Job::Head(local) => self.query_head(alg, scorer, local, ctx),
+            });
 
         // Merge: map local ids home and concatenate. Shards own disjoint,
         // increasing time ranges, so per-shard sorted answers concatenate
         // into a globally sorted answer set.
         let mut records = Vec::new();
         let mut stats = QueryStats::default();
-        for ((shard, _), partial) in jobs.iter().zip(partials) {
-            records.extend(partial.records.iter().map(|&id| id + shard.ext_lo));
+        for (job, partial) in jobs.iter().zip(partials) {
+            let ext_lo = match job {
+                Job::Tail(shard, _) => shard.ext_lo,
+                Job::Head(_) => self.head.ext_lo,
+            };
+            records.extend(partial.records.iter().map(|&id| id + ext_lo));
             stats.absorb(&partial.stats);
         }
         QueryResult { records, stats }
     }
 
-    /// Cumulative top-k queries issued across all shard oracles.
+    /// Runs a localized query against the head's forest oracle.
+    fn query_head<S: OracleScorer + ?Sized>(
+        &self,
+        alg: Algorithm,
+        scorer: &S,
+        local: &DurableQuery,
+        ctx: &mut QueryContext,
+    ) -> QueryResult {
+        let ds = &self.head.ds;
+        let oracle = ForestOracle::new(&self.head.index);
+        match alg {
+            Algorithm::TBase => t_base(ds, &oracle, scorer, local, ctx),
+            Algorithm::THop => t_hop(ds, &oracle, scorer, local, ctx),
+            Algorithm::SBase => s_base(ds, scorer, local, ctx),
+            Algorithm::SHop => s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx),
+            Algorithm::SHopTop1 => s_hop(ds, &oracle, scorer, local, RefillMode::Top1, ctx),
+            Algorithm::SBand => {
+                // The mutable head carries no skyband index; serve with
+                // S-Hop and flag the substitution, mirroring
+                // DurableTopKEngine's graceful degradation.
+                let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
+                result.stats.fallback = true;
+                result
+            }
+        }
+    }
+
+    /// Answers the preference top-k query `Q(u, k, W)` over the whole
+    /// sharded history into `out`, drawing scratch from `ctx` — the
+    /// building-block view of the engine, used by
+    /// [`StreamingMonitor`](crate::StreamingMonitor) for per-arrival
+    /// durability probes.
+    ///
+    /// Exact for **any** window (the owned shard ranges partition the
+    /// history; no overlap is needed for a plain top-k).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the engine is empty.
+    pub fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        ctx: &mut QueryContext,
+        out: &mut TopKResult,
+    ) {
+        assert!(k > 0, "k must be positive");
+        assert!(self.len > 0, "cannot query an empty engine");
+        out.clear();
+        if (w.start() as usize) >= self.len {
+            return;
+        }
+        let w = w.clamp_to(self.len);
+        let mut merge = std::mem::take(&mut ctx.scored);
+        merge.clear();
+        for shard in &self.tails {
+            if let Some(piece) = w.intersect(Window::new(shard.lo, shard.hi)) {
+                let local = Window::new(piece.start() - shard.ext_lo, piece.end() - shard.ext_lo);
+                shard.engine.oracle().tree().top_k_with(
+                    shard.engine.dataset(),
+                    scorer,
+                    k,
+                    local,
+                    &mut ctx.oracle,
+                    out,
+                );
+                merge.extend(out.items.iter().map(|&(id, s)| (id + shard.ext_lo, s)));
+            }
+        }
+        if self.head_owned() > 0 {
+            let owned = Window::new(self.head.lo, (self.len - 1) as Time);
+            if let Some(piece) = w.intersect(owned) {
+                let local =
+                    Window::new(piece.start() - self.head.ext_lo, piece.end() - self.head.ext_lo);
+                self.head.index.top_k_with(&self.head.ds, scorer, k, local, &mut ctx.oracle, out);
+                merge.extend(out.items.iter().map(|&(id, s)| (id + self.head.ext_lo, s)));
+            }
+        }
+        out.clear();
+        std::mem::swap(&mut out.items, &mut merge);
+        out.finalize_in_place(k);
+        ctx.scored = merge;
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`top_k_into`](ShardedEngine::top_k_into).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the engine is empty.
+    pub fn top_k<S: OracleScorer + ?Sized>(&self, scorer: &S, k: usize, w: Window) -> TopKResult {
+        let mut ctx = QueryContext::new();
+        let mut out = TopKResult::empty();
+        self.top_k_into(scorer, k, w, &mut ctx, &mut out);
+        out
+    }
+
+    /// Cumulative top-k queries issued across all shard oracles (sealed
+    /// tails plus the head forest).
     pub fn oracle_queries(&self) -> u64 {
-        self.shards.iter().map(|s| s.engine.oracle_queries()).sum()
+        let tails: u64 = self.tails.iter().map(|s| s.engine.oracle_queries()).sum();
+        tails + self.head.index.counters().queries()
     }
 
     /// Resets instrumentation on every shard.
     pub fn reset_counters(&self) {
-        for shard in &self.shards {
+        for shard in &self.tails {
             shard.engine.reset_counters();
         }
+        self.head.index.counters().reset();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::TopKOracle;
     use durable_topk_temporal::LinearScorer;
 
     fn dataset(n: usize) -> Dataset {
@@ -251,7 +521,7 @@ mod tests {
         let flat = DurableTopKEngine::new(ds);
         assert_eq!(got.records, flat.query(Algorithm::THop, &scorer, &q).records);
         // Only shard 3's oracle saw traffic.
-        let active: usize = sharded.shards.iter().filter(|s| s.engine.oracle_queries() > 0).count();
+        let active: usize = sharded.tails.iter().filter(|s| s.engine.oracle_queries() > 0).count();
         assert_eq!(active, 1);
     }
 
@@ -315,5 +585,118 @@ mod tests {
             sharded.query(Algorithm::SHop, &scorer, &q).records,
             flat.query(Algorithm::SHop, &scorer, &q).records
         );
+    }
+
+    #[test]
+    fn appends_grow_a_live_engine_that_matches_flat() {
+        let ds = dataset(500);
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let mut live = ShardedEngine::new_live(2, 64, 40);
+        for id in 0..500u32 {
+            live.append(ds.row(id));
+        }
+        assert_eq!(live.len(), 500);
+        // 500 / 64 -> 7 sealed shards + a head owning 52 records.
+        assert_eq!(live.sealed_shards(), 7);
+        assert_eq!(live.shard_count(), 8);
+        let flat = DurableTopKEngine::new(ds);
+        for (k, tau, a, b) in [(3usize, 40u32, 0u32, 499u32), (1, 17, 250, 499), (5, 40, 460, 499)]
+        {
+            let q = DurableQuery { k, tau, interval: Window::new(a, b) };
+            for alg in Algorithm::ALL {
+                let got = live.query(alg, &scorer, &q);
+                let expected = flat.query(alg, &scorer, &q);
+                assert_eq!(got.records, expected.records, "alg={alg} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_after_build_continues_the_timeline() {
+        let ds = dataset(300);
+        let mut sharded = ShardedEngine::build(&ds, 3, 30);
+        let mut full = ds.clone();
+        for i in 300..420usize {
+            let row = [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
+            assert_eq!(sharded.append(&row), i as RecordId);
+            full.push(&row);
+        }
+        assert_eq!(sharded.len(), 420);
+        let flat = DurableTopKEngine::new(full);
+        let scorer = LinearScorer::new(vec![0.5, 0.5]);
+        let q = DurableQuery { k: 2, tau: 25, interval: Window::new(150, 419) };
+        for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::TBase] {
+            assert_eq!(
+                sharded.query(alg, &scorer, &q).records,
+                flat.query(alg, &scorer, &q).records,
+                "alg={alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn sealing_preserves_the_overlap_invariant() {
+        // Span smaller than max_tau: the sealed sub-dataset is shorter than
+        // the overlap early on; context must clamp to the full history.
+        let scorer = LinearScorer::uniform(2);
+        let mut live = ShardedEngine::new_live(2, 4, 10);
+        let mut full = Dataset::new(2);
+        for i in 0..40usize {
+            let row = [((i * 13) % 17) as f64, ((i * 5) % 11) as f64];
+            live.append(&row);
+            full.push(&row);
+            let n = full.len() as Time;
+            let flat = DurableTopKEngine::new(full.clone());
+            let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, n - 1) };
+            assert_eq!(
+                live.query(Algorithm::THop, &scorer, &q).records,
+                flat.query(Algorithm::THop, &scorer, &q).records,
+                "after {} appends",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_matches_the_flat_oracle() {
+        let ds = dataset(700);
+        let scorer = LinearScorer::new(vec![0.3, 0.7]);
+        let mut live = ShardedEngine::new_live(2, 100, 50);
+        for id in 0..700u32 {
+            live.append(ds.row(id));
+        }
+        let flat = DurableTopKEngine::new(ds.clone());
+        let mut ctx = QueryContext::new();
+        let mut out = TopKResult::empty();
+        for (k, a, b) in [(1usize, 0u32, 699u32), (4, 350, 360), (3, 95, 105), (2, 680, 699)] {
+            live.top_k_into(&scorer, k, Window::new(a, b), &mut ctx, &mut out);
+            let expected = flat.oracle().top_k(&ds, &scorer, k, Window::new(a, b));
+            assert_eq!(out, expected, "k={k} w=[{a},{b}]");
+        }
+    }
+
+    #[test]
+    fn live_skyband_bound_serves_sealed_shards_without_fallback() {
+        let ds = dataset(256);
+        let scorer = LinearScorer::new(vec![0.8, 0.2]);
+        let mut live = ShardedEngine::new_live(2, 64, 30).with_skyband_bound(4);
+        for id in 0..256u32 {
+            live.append(ds.row(id));
+        }
+        assert_eq!(live.sealed_shards(), 4);
+        assert_eq!(live.shard_count(), 4, "no owned head records after an exact multiple");
+        let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 255) };
+        let got = live.query(Algorithm::SBand, &scorer, &q);
+        assert!(!got.stats.fallback, "sealed shards carry the skyband index");
+        let flat = DurableTopKEngine::new(ds).with_skyband_index(4);
+        assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset is empty")]
+    fn querying_an_empty_live_engine_is_rejected() {
+        let live = ShardedEngine::new_live(2, 8, 4);
+        let q = DurableQuery { k: 1, tau: 2, interval: Window::new(0, 0) };
+        live.query(Algorithm::THop, &LinearScorer::uniform(2), &q);
     }
 }

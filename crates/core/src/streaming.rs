@@ -2,55 +2,120 @@
 //!
 //! The paper studies the *offline* problem ("our query analyzes historical
 //! data") and contrasts it with continuous monitoring à la Mouratidis et al.
-//! This module closes the loop as an extension: an appendable engine that
-//! ingests records online (amortized-cheap index maintenance via the
-//! logarithmic segment-tree forest) and can
-
+//! This module closes the loop as an extension: an online engine that
+//! ingests records as they arrive and can
+//!
 //! 1. classify each arriving record's durability *immediately*
 //!    ([`StreamingMonitor::push`] — is the newcomer a τ-durable record right
 //!    now?), and
 //! 2. answer full historical `DurTop(k, I, τ)` queries at any point
-//!    ([`StreamingMonitor::query`]), since the forest is a drop-in top-k
-//!    oracle.
+//!    ([`StreamingMonitor::query`]).
+//!
+//! Since PR 3 the monitor is a thin facade over the live
+//! [`ShardedEngine`]: arrivals land in the engine's mutable head shard
+//! (amortized-cheap forest maintenance), old shards seal and stay
+//! immutable, and historical queries fan out across the shards through the
+//! persistent worker pool — streaming and sharding are one system instead
+//! of two parallel implementations.
 
 use crate::algorithms::{s_hop, t_hop, RefillMode};
 use crate::context::QueryContext;
+use crate::engine::Algorithm;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, QueryResult};
-use durable_topk_index::{AppendableTopKIndex, OracleScorer, OracleScratch, TopKResult};
+use crate::sharded::ShardedEngine;
+use durable_topk_index::{OracleScorer, OracleScratch, TopKResult};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+use std::cell::RefCell;
+
+/// The live sharded engine as a `TopKOracle`: each probe fans the window
+/// over the shard indexes via [`ShardedEngine::top_k_into`], which is
+/// exact for any window. Serves the `τ > max_tau` fallback of
+/// [`StreamingMonitor::query`] on the calling thread (hence the
+/// single-threaded interior context).
+struct EngineOracle<'a> {
+    engine: &'a ShardedEngine,
+    ctx: RefCell<QueryContext>,
+}
+
+impl TopKOracle for EngineOracle<'_> {
+    fn top_k_into<S: OracleScorer + ?Sized>(
+        &self,
+        _ds: &Dataset,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        _scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) {
+        self.engine.top_k_into(scorer, k, w, &mut self.ctx.borrow_mut(), out);
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.engine.oracle_queries()
+    }
+
+    fn reset_counters(&self) {
+        self.engine.reset_counters();
+    }
+}
+
+/// Default owned records per sealed shard of the backing engine.
+const DEFAULT_SHARD_SPAN: usize = 4_096;
+/// Default exactness bound for historical `DurTop` queries (`τ ≤` this is
+/// served by the sharded fan-out; larger `τ` falls back to a scan-backed
+/// execution over the full history).
+const DEFAULT_MAX_TAU: Time = 4_096;
 
 /// An online durable top-k engine over an append-only record stream.
 ///
-/// The monitor owns an [`OracleScratch`] and a result buffer, so the
-/// per-arrival classification probe of [`push`](StreamingMonitor::push)
-/// allocates nothing once warm.
+/// A facade over the live [`ShardedEngine`]: the monitor keeps the full
+/// history (for presentation and as the fallback substrate) while the
+/// engine shards it incrementally. The monitor owns a [`QueryContext`] and
+/// a result buffer, so the per-arrival classification probe of
+/// [`push`](StreamingMonitor::push) allocates nothing once warm.
 #[derive(Debug)]
 pub struct StreamingMonitor {
     ds: Dataset,
-    index: AppendableTopKIndex,
-    scratch: OracleScratch,
+    engine: ShardedEngine,
+    ctx: QueryContext,
     probe: TopKResult,
 }
 
 impl StreamingMonitor {
-    /// Creates an empty monitor for records with `dim` attributes.
+    /// Creates an empty monitor for records with `dim` attributes, using
+    /// default shard bounds (shards of 4096 records, exact historical
+    /// queries up to `τ = 4096`).
     ///
     /// # Panics
     /// Panics if `dim == 0` or `leaf_size == 0`.
     pub fn new(dim: usize, leaf_size: usize) -> Self {
+        Self::with_bounds(dim, leaf_size, DEFAULT_SHARD_SPAN, DEFAULT_MAX_TAU)
+    }
+
+    /// Creates an empty monitor with explicit shard bounds: the backing
+    /// engine seals a shard every `shard_span` records and answers
+    /// historical queries exactly for `τ ≤ max_tau` without fallback.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn with_bounds(dim: usize, leaf_size: usize, shard_span: usize, max_tau: Time) -> Self {
         Self {
             ds: Dataset::new(dim),
-            index: AppendableTopKIndex::new(leaf_size),
-            scratch: OracleScratch::new(),
+            engine: ShardedEngine::new_live_with_leaf(dim, shard_span, max_tau, leaf_size),
+            ctx: QueryContext::new(),
             probe: TopKResult::empty(),
         }
     }
 
     /// Bootstraps the monitor from existing history.
     pub fn from_history(ds: Dataset, leaf_size: usize) -> Self {
-        let index = AppendableTopKIndex::build(&ds, leaf_size);
-        Self { ds, index, scratch: OracleScratch::new(), probe: TopKResult::empty() }
+        let mut monitor = Self::new(ds.dim(), leaf_size);
+        for id in 0..ds.len() {
+            monitor.engine.append(ds.row(id as RecordId));
+        }
+        monitor.ds = ds;
+        monitor
     }
 
     /// Records ingested so far.
@@ -68,10 +133,18 @@ impl StreamingMonitor {
         &self.ds
     }
 
+    /// The backing live sharded engine (shard counts, direct queries).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
     /// Ingests a record and reports whether it is τ-durable (look-back,
     /// under `scorer` and `k`) at the moment of its arrival.
     ///
-    /// Amortized cost: `O(polylog n)` index maintenance plus one top-k query.
+    /// Amortized cost: `O(polylog n)` index maintenance plus one top-k
+    /// probe across the shards intersecting the τ-window. Any `tau` is
+    /// accepted — the probe is a plain top-k, which the sharded engine
+    /// answers exactly for arbitrary windows.
     ///
     /// # Panics
     /// Panics if `k == 0` or the attribute arity mismatches.
@@ -84,59 +157,55 @@ impl StreamingMonitor {
     ) -> bool {
         assert!(k > 0, "k must be positive");
         let id = self.ds.push(attrs);
-        self.index.append(&self.ds);
-        self.index.top_k_with(
-            &self.ds,
+        self.engine.append(attrs);
+        self.engine.top_k_into(
             scorer,
             k,
             Window::lookback(id, tau),
-            &mut self.scratch,
+            &mut self.ctx,
             &mut self.probe,
         );
         self.probe.admits_score(scorer.score(attrs))
     }
 
-    /// Direct access to the oracle: `Q(u, k, W)` over the ingested history.
+    /// Direct access to the building block: `Q(u, k, W)` over the ingested
+    /// history, served by the sharded fan-out.
     pub fn top_k<S: OracleScorer + ?Sized>(&self, scorer: &S, k: usize, w: Window) -> TopKResult {
-        self.index.top_k(&self.ds, scorer, k, w)
+        self.engine.top_k(scorer, k, w)
     }
 
     /// Historical `DurTop(k, I, τ)` over everything ingested so far, served
-    /// by T-Hop (or S-Hop for `score_prioritized = true`) against the
-    /// forest oracle.
-    pub fn query<S: OracleScorer + ?Sized>(
+    /// by T-Hop (or S-Hop for `score_prioritized = true`).
+    ///
+    /// For `τ ≤` the engine's `max_tau` the query fans out across the
+    /// shards (exact, parallel). Beyond that bound the shard overlap
+    /// cannot localize durability windows, so the monitor runs the same
+    /// algorithm on the ingesting thread with the sharded top-k building
+    /// block as its oracle (exact for *any* window) and sets
+    /// [`QueryStats::fallback`](crate::QueryStats) — still exact and still
+    /// index-accelerated, just without the per-shard fan-out.
+    pub fn query<S: OracleScorer + Sync + ?Sized>(
         &self,
         scorer: &S,
         query: &DurableQuery,
         score_prioritized: bool,
     ) -> QueryResult {
-        struct ForestOracle<'a>(&'a AppendableTopKIndex);
-        impl TopKOracle for ForestOracle<'_> {
-            fn top_k_into<S: OracleScorer + ?Sized>(
-                &self,
-                ds: &Dataset,
-                scorer: &S,
-                k: usize,
-                w: Window,
-                scratch: &mut OracleScratch,
-                out: &mut TopKResult,
-            ) {
-                self.0.top_k_with(ds, scorer, k, w, scratch, out);
-            }
-            fn queries_issued(&self) -> u64 {
-                self.0.counters().queries()
-            }
-            fn reset_counters(&self) {
-                self.0.counters().reset();
-            }
+        if query.tau <= self.engine.max_tau() {
+            return if score_prioritized {
+                self.engine.query(Algorithm::SHop, scorer, query)
+            } else {
+                self.engine.query(Algorithm::THop, scorer, query)
+            };
         }
-        let oracle = ForestOracle(&self.index);
+        let oracle = EngineOracle { engine: &self.engine, ctx: RefCell::new(QueryContext::new()) };
         let mut ctx = QueryContext::new();
-        if score_prioritized {
+        let mut result = if score_prioritized {
             s_hop(&self.ds, &oracle, scorer, query, RefillMode::TopK, &mut ctx)
         } else {
             t_hop(&self.ds, &oracle, scorer, query, &mut ctx)
-        }
+        };
+        result.stats.fallback = true;
+        result
     }
 
     /// Ids of the records currently in `π≤k` of the most recent τ-window
@@ -187,19 +256,58 @@ mod tests {
     }
 
     #[test]
-    fn historical_queries_through_the_forest() {
+    fn push_classification_survives_shard_sealing() {
+        // Tight bounds force many seals mid-stream; classifications and
+        // historical queries must not notice.
+        let mut rng = StdRng::seed_from_u64(405);
+        let mut monitor = StreamingMonitor::with_bounds(2, 4, 16, 24);
+        let scorer = LinearScorer::new(vec![0.4, 0.6]);
+        let (k, tau) = (2usize, 24u32);
+        let mut online = Vec::new();
+        for _ in 0..200 {
+            let attrs = [rng.random_range(0..12) as f64, rng.random_range(0..12) as f64];
+            if monitor.push(&attrs, &scorer, k, tau) {
+                online.push((monitor.len() - 1) as RecordId);
+            }
+        }
+        assert!(monitor.engine().sealed_shards() > 5, "bounds must force seals");
+        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        let q = DurableQuery { k, tau, interval: Window::new(0, 199) };
+        assert_eq!(online, engine.query(Algorithm::THop, &scorer, &q).records);
+        assert_eq!(monitor.query(&scorer, &q, false).records, online);
+    }
+
+    #[test]
+    fn historical_queries_through_the_engine() {
         let mut monitor = StreamingMonitor::new(1, 4);
         let scorer = LinearScorer::new(vec![1.0]);
         for i in 0..200u32 {
             monitor.push(&[((i * 31) % 57) as f64], &scorer, 1, 10);
         }
         let q = DurableQuery { k: 2, tau: 25, interval: Window::new(50, 199) };
-        let via_forest = monitor.query(&scorer, &q, false);
-        let via_forest_shop = monitor.query(&scorer, &q, true);
+        let via_engine = monitor.query(&scorer, &q, false);
+        let via_engine_shop = monitor.query(&scorer, &q, true);
         let engine = DurableTopKEngine::new(monitor.dataset().clone());
         let reference = engine.query(Algorithm::TBase, &scorer, &q);
-        assert_eq!(via_forest.records, reference.records);
-        assert_eq!(via_forest_shop.records, reference.records);
+        assert_eq!(via_engine.records, reference.records);
+        assert_eq!(via_engine_shop.records, reference.records);
+        assert!(!via_engine.stats.fallback, "tau within the bound needs no fallback");
+    }
+
+    #[test]
+    fn tau_beyond_the_bound_falls_back_exactly() {
+        let mut monitor = StreamingMonitor::with_bounds(1, 4, 32, 16);
+        let scorer = LinearScorer::new(vec![1.0]);
+        for i in 0..120u32 {
+            monitor.push(&[((i * 13) % 37) as f64], &scorer, 1, 8);
+        }
+        let q = DurableQuery { k: 2, tau: 50, interval: Window::new(0, 119) };
+        let got = monitor.query(&scorer, &q, false);
+        assert!(got.stats.fallback, "tau 50 > max_tau 16 must be flagged");
+        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        assert_eq!(got.records, engine.query(Algorithm::THop, &scorer, &q).records);
+        let shop = monitor.query(&scorer, &q, true);
+        assert_eq!(shop.records, got.records);
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl AppendableTopKIndex {
         }
     }
 
+    /// Consumes the forest, collapsing it into a single balanced tree over
+    /// its whole coverage — the *sealing* step of shard rotation: a head
+    /// shard grown by appends freezes into the same index shape a
+    /// from-scratch build produces, ready to serve as an immutable tail
+    /// shard.
+    ///
+    /// When the binary counter already holds a single tree (record count a
+    /// power of two), that tree is moved out as-is; otherwise the covered
+    /// range is rebuilt once into a fresh balanced tree (segment trees do
+    /// not merge structurally).
+    ///
+    /// # Panics
+    /// Panics if the index is empty.
+    pub fn seal(mut self, ds: &Dataset) -> SkylineSegTree {
+        assert!(!self.is_empty(), "cannot seal an empty index");
+        if self.trees.len() == 1 {
+            return self.trees.pop().expect("one tree");
+        }
+        SkylineSegTree::build_over(ds, 0, (self.n - 1) as Time, self.leaf_size)
+    }
+
     /// Answers `Q(u, k, W)` over the forest.
     ///
     /// Convenience wrapper over [`top_k_with`](AppendableTopKIndex::top_k_with)
@@ -208,6 +229,30 @@ mod tests {
         let scorer = LinearScorer::new(vec![1.0]);
         let r = idx.top_k(&ds, &scorer, 2, Window::new(0, 3));
         assert_eq!(r.items, vec![(3, 9.0), (0, 3.0)]);
+    }
+
+    #[test]
+    fn seal_collapses_to_one_exact_tree() {
+        let mut ds = Dataset::new(2);
+        let mut idx = AppendableTopKIndex::new(4);
+        let scorer = LinearScorer::new(vec![0.5, 0.5]);
+        for i in 0..37usize {
+            ds.push(&[((i * 13) % 29) as f64, ((i * 7) % 23) as f64]);
+            idx.append(&ds);
+        }
+        assert!(idx.tree_count() > 1, "37 = 0b100101 keeps several trees");
+        let sealed = idx.seal(&ds);
+        assert_eq!(sealed.coverage(), Window::new(0, 36));
+        for k in [1usize, 3] {
+            let w = Window::new(5, 30);
+            assert_eq!(sealed.top_k(&ds, &scorer, k, w), scan_top_k(&ds, &scorer, k, w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seal an empty index")]
+    fn sealing_an_empty_forest_is_rejected() {
+        AppendableTopKIndex::new(2).seal(&Dataset::new(1));
     }
 
     #[test]

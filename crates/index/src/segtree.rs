@@ -288,9 +288,12 @@ struct TreeNode {
     summary: NodeSummary,
 }
 
-/// Total-order wrapper for f64 heap keys.
+/// Total-order wrapper for `f64` heap keys (via `total_cmp`).
+///
+/// Public so out-of-crate oracle implementations (e.g. the disk-backed
+/// store relation) can key their [`OracleScratch`] heaps the same way.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdF64(pub f64);
+pub struct OrdF64(pub f64);
 
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {
@@ -318,6 +321,18 @@ pub struct OracleScratch {
     best_k: BinaryHeap<Reverse<OrdF64>>,
     /// Candidate accumulation across forest trees (see `forest`).
     pub(crate) merge: Vec<(RecordId, f64)>,
+    /// Best-first frontier for out-of-crate oracles that address nodes by
+    /// byte offset instead of slot index (the disk-backed store relation):
+    /// (bound, node offset, window slice).
+    pub pq_ext: BinaryHeap<(OrdF64, u64, Time, Time)>,
+    /// Running best-k min-heap for out-of-crate oracles; its top is the
+    /// running s_k.
+    pub best_ext: BinaryHeap<Reverse<OrdF64>>,
+    /// Reusable attribute-row buffer for oracles that materialize records
+    /// one at a time (e.g. through a buffer pool).
+    pub row: Vec<f64>,
+    /// Reusable byte buffer for serialized node payloads.
+    pub bytes: Vec<u8>,
 }
 
 impl OracleScratch {

@@ -9,8 +9,8 @@
 
 use crate::pager::IoStats;
 use crate::relation::RelStore;
-use durable_topk_index::SkybandBuffer;
-use durable_topk_temporal::{RecordId, Scorer, Time, Window};
+use durable_topk_index::{OracleScorer, OracleScratch, SkybandBuffer, TopKResult};
+use durable_topk_temporal::{RecordId, Time, Window};
 use std::io;
 
 /// Instrumentation for one stored-procedure execution.
@@ -35,11 +35,15 @@ fn io_delta(after: IoStats, before: IoStats) -> IoStats {
 
 /// T-Hop (Algorithm 1) as a stored procedure.
 ///
+/// Holds one [`OracleScratch`] and one result buffer for the whole
+/// execution, so every top-k probe runs through the allocation-free
+/// [`RelStore::top_k_with`] path.
+///
 /// # Panics
 /// Panics if `k == 0`, `tau == 0` or the interval lies outside the table.
-pub fn t_hop_proc(
+pub fn t_hop_proc<S: OracleScorer + ?Sized>(
     store: &mut RelStore,
-    scorer: &dyn Scorer,
+    scorer: &S,
     k: usize,
     interval: Window,
     tau: Time,
@@ -50,11 +54,13 @@ pub fn t_hop_proc(
     let mut stats = ProcStats::default();
     let mut answers = Vec::new();
     let mut row = vec![0.0f64; store.dim()];
+    let mut scratch = OracleScratch::new();
+    let mut pi = TopKResult::empty();
 
     let mut t = interval.end();
     loop {
         stats.topk_queries += 1;
-        let pi = store.top_k(scorer, k, Window::lookback(t, tau))?;
+        store.top_k_with(scorer, k, Window::lookback(t, tau), &mut scratch, &mut pi)?;
         store.read_row(t, &mut row)?;
         stats.rows_read += 1;
         if pi.admits_score(scorer.score(&row)) {
@@ -80,11 +86,14 @@ pub fn t_hop_proc(
 /// with incremental top-k maintenance, recomputing from the index relation
 /// only when a `π≤k` member expires.
 ///
+/// Like [`t_hop_proc`], one [`OracleScratch`] and one result buffer serve
+/// every recomputation; the skyband buffer refills in place.
+///
 /// # Panics
 /// Panics if `k == 0`, `tau == 0` or the interval lies outside the table.
-pub fn t_base_proc(
+pub fn t_base_proc<S: OracleScorer + ?Sized>(
     store: &mut RelStore,
-    scorer: &dyn Scorer,
+    scorer: &S,
     k: usize,
     interval: Window,
     tau: Time,
@@ -95,11 +104,13 @@ pub fn t_base_proc(
     let mut stats = ProcStats::default();
     let mut answers = Vec::new();
     let mut row = vec![0.0f64; store.dim()];
+    let mut scratch = OracleScratch::new();
+    let mut pi = TopKResult::empty();
 
     let mut t = interval.end();
     stats.topk_queries += 1;
-    let mut buffer =
-        SkybandBuffer::from_result(k, &store.top_k(scorer, k, Window::lookback(t, tau))?);
+    store.top_k_with(scorer, k, Window::lookback(t, tau), &mut scratch, &mut pi)?;
+    let mut buffer = SkybandBuffer::from_result(k, &pi);
     loop {
         store.read_row(t, &mut row)?;
         stats.rows_read += 1;
@@ -113,8 +124,8 @@ pub fn t_base_proc(
         t -= 1;
         if buffer.contains(expiring) {
             stats.topk_queries += 1;
-            buffer =
-                SkybandBuffer::from_result(k, &store.top_k(scorer, k, Window::lookback(t, tau))?);
+            store.top_k_with(scorer, k, Window::lookback(t, tau), &mut scratch, &mut pi)?;
+            buffer.refill(&pi);
         } else if t >= tau {
             let incoming = t - tau;
             store.read_row(incoming, &mut row)?;
@@ -130,7 +141,7 @@ pub fn t_base_proc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use durable_topk_temporal::{Dataset, LinearScorer};
+    use durable_topk_temporal::{Dataset, LinearScorer, Scorer};
     use rand::prelude::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {

@@ -11,8 +11,9 @@
 use crate::pager::{BufferPool, IoStats, PAGE_SIZE};
 use crate::table::Table;
 use durable_topk_geom::{skyline_indices, skyline_merge};
-use durable_topk_index::TopKResult;
-use durable_topk_temporal::{Dataset, RecordId, Scorer, Time, Window};
+use durable_topk_index::{OracleScorer, OracleScratch, OrdF64, TopKResult};
+use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+use std::cmp::Reverse;
 use std::io;
 use std::path::Path;
 
@@ -125,44 +126,82 @@ impl RelStore {
     /// Disk-backed `Q(u, k, W)` with the same semantics as the in-memory
     /// oracle (top-k plus ties of the k-th score).
     ///
+    /// Convenience wrapper over [`top_k_with`](RelStore::top_k_with) that
+    /// allocates fresh scratch; the stored procedures hold an
+    /// [`OracleScratch`] and call `top_k_with` directly.
+    ///
     /// # Panics
     /// Panics if `k == 0` or the scorer is not monotone (the stored index
     /// carries only skylines, which bound monotone scorers exactly).
-    pub fn top_k(&mut self, scorer: &dyn Scorer, k: usize, w: Window) -> io::Result<TopKResult> {
+    pub fn top_k<S: OracleScorer + ?Sized>(
+        &mut self,
+        scorer: &S,
+        k: usize,
+        w: Window,
+    ) -> io::Result<TopKResult> {
+        let mut scratch = OracleScratch::new();
+        let mut out = TopKResult::empty();
+        self.top_k_with(scorer, k, w, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Disk-backed `Q(u, k, W)` into `out`, drawing the search frontier,
+    /// threshold heap and row/byte buffers from `scratch` — the
+    /// allocation-free counterpart of [`top_k`](RelStore::top_k) used by
+    /// the stored procedures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the scorer is not monotone.
+    pub fn top_k_with<S: OracleScorer + ?Sized>(
+        &mut self,
+        scorer: &S,
+        k: usize,
+        w: Window,
+        scratch: &mut OracleScratch,
+        out: &mut TopKResult,
+    ) -> io::Result<()> {
         assert!(k > 0, "k must be positive");
         assert!(scorer.is_monotone(), "the stored index supports monotone scorers");
+        out.clear();
         let n = self.table.len();
         if (w.start() as usize) >= n {
-            return Ok(TopKResult { items: Vec::new(), kth_score: f64::NEG_INFINITY });
+            return Ok(());
         }
         let w = w.clamp_to(n);
 
         // Best-first over stored nodes: (bound, node offset, window slice).
-        let mut pq: Vec<(f64, u64, Time, Time)> = Vec::new();
-        self.seed(self.root, w, scorer, &mut pq)?;
-        let mut candidates: Vec<(RecordId, f64)> = Vec::new();
-        let mut best: Vec<f64> = Vec::new(); // k best scores, ascending
-        let mut row = vec![0.0f64; self.table.dim()];
+        scratch.pq_ext.clear();
+        scratch.best_ext.clear();
+        scratch.row.clear();
+        scratch.row.resize(self.table.dim(), 0.0);
+        self.seed(self.root, w, scorer, scratch)?;
         // Extract max-bound entries until the bound falls below the running
-        // k-th best score (small PQ; linear extract keeps the code free of
-        // one more OrdF64 wrapper).
-        while let Some(pos) =
-            pq.iter().enumerate().max_by(|a, b| a.1 .0.total_cmp(&b.1 .0)).map(|(i, _)| i)
-        {
-            let (bound, off, lo, hi) = pq.swap_remove(pos);
-            let threshold = if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
-            if bound < threshold {
+        // k-th best score; candidates accumulate directly in `out`.
+        while let Some((bound, off, lo, hi)) = scratch.pq_ext.pop() {
+            let threshold = if scratch.best_ext.len() >= k {
+                scratch.best_ext.peek().expect("non-empty").0 .0
+            } else {
+                f64::NEG_INFINITY
+            };
+            if bound.0 < threshold {
                 break;
             }
             let node = self.read_node_header(off)?;
             if node.left == NO_CHILD {
                 for id in lo..=hi {
-                    self.table.read_row(&mut self.pool, id, &mut row)?;
-                    let s = scorer.score(&row);
-                    let threshold = if best.len() >= k { best[0] } else { f64::NEG_INFINITY };
+                    self.table.read_row(&mut self.pool, id, &mut scratch.row)?;
+                    let s = scorer.score(&scratch.row);
+                    let threshold = if scratch.best_ext.len() >= k {
+                        scratch.best_ext.peek().expect("non-empty").0 .0
+                    } else {
+                        f64::NEG_INFINITY
+                    };
                     if s >= threshold {
-                        candidates.push((id, s));
-                        insert_best(&mut best, k, s);
+                        out.items.push((id, s));
+                        scratch.best_ext.push(Reverse(OrdF64(s)));
+                        if scratch.best_ext.len() > k {
+                            scratch.best_ext.pop();
+                        }
                     }
                 }
             } else {
@@ -170,32 +209,39 @@ impl RelStore {
                     let child = self.read_node_header(child_off)?;
                     let cw = Window::new(child.lo, child.hi);
                     if let Some(iw) = cw.intersect(Window::new(lo, hi)) {
-                        let b = self.node_bound(child_off, &child, scorer)?;
-                        pq.push((b, child_off, iw.start(), iw.end()));
+                        let b = self.node_bound(
+                            child_off,
+                            &child,
+                            scorer,
+                            &mut scratch.bytes,
+                            &mut scratch.row,
+                        )?;
+                        scratch.pq_ext.push((OrdF64(b), child_off, iw.start(), iw.end()));
                     }
                 }
             }
         }
-        Ok(TopKResult::finalize(candidates, k))
+        out.finalize_in_place(k);
+        Ok(())
     }
 
-    fn seed(
+    fn seed<S: OracleScorer + ?Sized>(
         &mut self,
         off: u64,
         w: Window,
-        scorer: &dyn Scorer,
-        pq: &mut Vec<(f64, u64, Time, Time)>,
+        scorer: &S,
+        scratch: &mut OracleScratch,
     ) -> io::Result<()> {
         let node = self.read_node_header(off)?;
         let range = Window::new(node.lo, node.hi);
         let Some(iw) = range.intersect(w) else { return Ok(()) };
         if w.contains_window(range) || node.left == NO_CHILD {
-            let b = self.node_bound(off, &node, scorer)?;
-            pq.push((b, off, iw.start(), iw.end()));
+            let b = self.node_bound(off, &node, scorer, &mut scratch.bytes, &mut scratch.row)?;
+            scratch.pq_ext.push((OrdF64(b), off, iw.start(), iw.end()));
             return Ok(());
         }
-        self.seed(node.left, w, scorer, pq)?;
-        self.seed(node.right, w, scorer, pq)
+        self.seed(node.left, w, scorer, scratch)?;
+        self.seed(node.right, w, scorer, scratch)
     }
 
     fn read_node_header(&mut self, off: u64) -> io::Result<NodeHeader> {
@@ -210,19 +256,29 @@ impl RelStore {
         })
     }
 
-    /// Max score over the node's inlined skyline entries.
-    fn node_bound(&mut self, off: u64, node: &NodeHeader, scorer: &dyn Scorer) -> io::Result<f64> {
+    /// Max score over the node's inlined skyline entries, using the
+    /// caller's byte and attribute buffers.
+    fn node_bound<S: OracleScorer + ?Sized>(
+        &mut self,
+        off: u64,
+        node: &NodeHeader,
+        scorer: &S,
+        bytes: &mut Vec<u8>,
+        attrs: &mut Vec<f64>,
+    ) -> io::Result<f64> {
         let d = self.table.dim();
         let entry = 4 + 8 * d;
-        let mut buf = vec![0u8; node.sky_len as usize * entry];
-        self.pool.read_bytes(off + 28, &mut buf)?;
-        let mut attrs = vec![0.0f64; d];
+        bytes.clear();
+        bytes.resize(node.sky_len as usize * entry, 0);
+        self.pool.read_bytes(off + 28, bytes)?;
+        attrs.clear();
+        attrs.resize(d, 0.0);
         let mut bound = f64::NEG_INFINITY;
-        for e in buf.chunks_exact(entry) {
+        for e in bytes.chunks_exact(entry) {
             for (j, a) in attrs.iter_mut().enumerate() {
                 *a = f64::from_le_bytes(e[4 + j * 8..12 + j * 8].try_into().expect("8 bytes"));
             }
-            bound = bound.max(scorer.score(&attrs));
+            bound = bound.max(scorer.score(attrs));
         }
         Ok(bound)
     }
@@ -234,18 +290,6 @@ struct NodeHeader {
     left: u64,
     right: u64,
     sky_len: u32,
-}
-
-/// Maintains the ascending list of the k best scores (index 0 = k-th best).
-fn insert_best(best: &mut Vec<f64>, k: usize, s: f64) {
-    if best.len() < k {
-        let pos = best.partition_point(|&b| b < s);
-        best.insert(pos, s);
-    } else if s > best[0] {
-        best.remove(0);
-        let pos = best.partition_point(|&b| b < s);
-        best.insert(pos, s);
-    }
 }
 
 struct NodeWriter<'a> {

@@ -1,0 +1,174 @@
+//! Live-ingestion equivalence and worker-pool persistence.
+//!
+//! The incremental `ShardedEngine` must be *indistinguishable* from a
+//! from-scratch build: a head shard grown by appends, sealed mid-stream at
+//! arbitrary points, answers every `DurTop(k, I, τ)` with `τ ≤ max_tau`
+//! record-for-record like both a freshly sharded build over the final
+//! dataset and a flat unsharded engine — at every prefix of the ingestion
+//! timeline, not just at the end.
+//!
+//! Separately, the query path must spawn no threads: `BatchExecutor` and
+//! `ShardedEngine::query` run on the persistent [`WorkerPool`], so the
+//! process-wide spawn counter stays flat across arbitrarily many queries.
+
+use durable_topk::{
+    Algorithm, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, QueryContext,
+    ShardedEngine, TopKOracle, TopKResult, Window, WorkerPool,
+};
+use durable_topk_temporal::Dataset;
+use proptest::prelude::*;
+
+/// One randomized query shape, instantiated against a prefix at run time.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    alg_index: usize,
+    k: usize,
+    tau_raw: u32,
+    seed: u32,
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (0usize..Algorithm::ALL.len(), 1usize..5, 0u32..10_000, 0u32..10_000)
+        .prop_map(|(alg_index, k, tau_raw, seed)| QuerySpec { alg_index, k, tau_raw, seed })
+}
+
+fn rows_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0u32..8, 2), 2..max_n).prop_map(|rows| {
+        rows.into_iter().map(|r| r.into_iter().map(|v| v as f64).collect()).collect()
+    })
+}
+
+/// Materializes a spec against `n` ingested records, capping `τ` at the
+/// engine's exactness bound.
+fn materialize(spec: &QuerySpec, n: u32, max_tau: u32) -> (Algorithm, DurableQuery) {
+    let tau = 1 + spec.tau_raw % max_tau;
+    let a = spec.seed % n;
+    let b = (spec.seed / 7) % n;
+    let q = DurableQuery { k: spec.k, tau, interval: Window::new(a.min(b), a.max(b)) };
+    (Algorithm::ALL[spec.alg_index], q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An engine grown by interleaved appends and queries answers
+    /// identically to engines built from scratch, across random `k`/`τ`/
+    /// window sequences and shard geometries.
+    #[test]
+    fn grown_engine_matches_rebuild_and_flat(
+        rows in rows_strategy(90),
+        span in 1usize..16,
+        max_tau in 1u32..24,
+        specs in prop::collection::vec(query_strategy(), 1..8),
+    ) {
+        let ds = Dataset::from_rows(2, rows);
+        let n = ds.len();
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let mut live = ShardedEngine::new_live(2, span, max_tau);
+
+        // Interleave: append everything, querying a few growing prefixes
+        // against a flat engine over the same prefix.
+        let mut spec_cursor = specs.iter().cycle();
+        for id in 0..n {
+            live.append(ds.row(id as u32));
+            if id % 11 == 7 {
+                let prefix = Dataset::from_rows(2, (0..=id).map(|i| ds.row(i as u32).to_vec()));
+                let flat = DurableTopKEngine::new(prefix);
+                let spec = spec_cursor.next().expect("cycle never ends");
+                let (alg, q) = materialize(spec, (id + 1) as u32, max_tau);
+                prop_assert_eq!(
+                    live.query(alg, &scorer, &q).records,
+                    flat.query(alg, &scorer, &q).records,
+                    "prefix={} alg={} q={:?}", id + 1, alg, q
+                );
+            }
+        }
+
+        // Final dataset: grown engine vs from-scratch sharded build vs flat.
+        let rebuilt = ShardedEngine::build(&ds, n.div_ceil(span), max_tau);
+        let flat = DurableTopKEngine::new(ds.clone());
+        for spec in &specs {
+            let (alg, q) = materialize(spec, n as u32, max_tau);
+            let grown = live.query(alg, &scorer, &q);
+            let scratch_built = rebuilt.query(alg, &scorer, &q);
+            let unsharded = flat.query(alg, &scorer, &q);
+            prop_assert_eq!(&grown.records, &scratch_built.records, "alg={} q={:?}", alg, q);
+            prop_assert_eq!(&grown.records, &unsharded.records, "alg={} q={:?}", alg, q);
+        }
+    }
+
+    /// The sharded top-k building block (what `StreamingMonitor::push`
+    /// probes) is exact for arbitrary windows, including `τ > max_tau`.
+    #[test]
+    fn sharded_top_k_is_exact_for_any_window(
+        rows in rows_strategy(70),
+        span in 1usize..12,
+        windows in prop::collection::vec((0u32..10_000, 0u32..10_000, 1usize..5), 1..6),
+    ) {
+        let ds = Dataset::from_rows(2, rows);
+        let n = ds.len() as u32;
+        let scorer = LinearScorer::new(vec![0.3, 0.7]);
+        let mut live = ShardedEngine::new_live(2, span, 4);
+        for id in 0..n {
+            live.append(ds.row(id));
+        }
+        let flat = DurableTopKEngine::new(ds.clone());
+        let mut ctx = QueryContext::new();
+        let mut out = TopKResult::empty();
+        for &(a, b, k) in &windows {
+            let (a, b) = (a % n, b % n);
+            let w = Window::new(a.min(b), a.max(b));
+            live.top_k_into(&scorer, k, w, &mut ctx, &mut out);
+            prop_assert_eq!(&out, &flat.oracle().top_k(&ds, &scorer, k, w), "k={} w={}", k, w);
+        }
+    }
+}
+
+/// The acceptance gate for the worker-pool refactor: once the global pool
+/// exists, arbitrarily many sharded queries and batch runs spawn zero
+/// additional threads — workers persist across queries.
+#[test]
+fn query_path_spawns_no_threads() {
+    let ds = Dataset::from_rows(2, (0..600).map(|i| [((i * 37) % 101) as f64, (i % 13) as f64]));
+    let sharded = ShardedEngine::build(&ds, 5, 60);
+    let engine = DurableTopKEngine::new(ds.clone());
+    let executor = BatchExecutor::new(4);
+    let scorer = LinearScorer::new(vec![0.5, 0.5]);
+    let scorers: Vec<LinearScorer> =
+        (1..=6).map(|i| LinearScorer::new(vec![i as f64, (7 - i) as f64])).collect();
+    let q = DurableQuery { k: 3, tau: 50, interval: Window::new(100, 599) };
+
+    // Warm-up: force the global pool (and its one-time worker spawns).
+    let warm = sharded.query(Algorithm::THop, &scorer, &q);
+    executor.run(&engine, Algorithm::THop, &scorers, &q);
+
+    let before = WorkerPool::threads_spawned();
+    for _ in 0..25 {
+        let got = sharded.query(Algorithm::THop, &scorer, &q);
+        assert_eq!(got.records, warm.records);
+        executor.run(&engine, Algorithm::SHop, &scorers, &q);
+        executor.run_sweep(&engine, &[Algorithm::THop, Algorithm::SHop], &scorer, &q);
+        executor.run_queries(&engine, Algorithm::THop, &scorer, std::slice::from_ref(&q));
+    }
+    assert_eq!(
+        WorkerPool::threads_spawned(),
+        before,
+        "the query path must reuse persistent pool workers, never spawn"
+    );
+}
+
+/// Appending must also stay spawn-free: sealing collapses the head forest
+/// in place on the ingesting thread.
+#[test]
+fn append_path_spawns_no_threads() {
+    let mut live = ShardedEngine::new_live(2, 32, 16);
+    // Warm the global pool through an unrelated build first.
+    let warm_ds = Dataset::from_rows(2, (0..64).map(|i| [i as f64, (64 - i) as f64]));
+    let _ = ShardedEngine::build(&warm_ds, 2, 8);
+    let before = WorkerPool::threads_spawned();
+    for i in 0..500usize {
+        live.append(&[((i * 7) % 23) as f64, ((i * 3) % 17) as f64]);
+    }
+    assert!(live.sealed_shards() > 10, "appends must have sealed shards");
+    assert_eq!(WorkerPool::threads_spawned(), before, "append/seal must not spawn");
+}
