@@ -61,7 +61,8 @@ fn bench(c: &mut Criterion) {
             for id in 0..N as u32 {
                 prefix.push(ds.row(id));
                 if (id + 1) % CHECKPOINT == 0 {
-                    let built = ShardedEngine::build(&prefix, prefix.len().div_ceil(SPAN), MAX_TAU);
+                    let built = ShardedEngine::build(&prefix, prefix.len().div_ceil(SPAN), MAX_TAU)
+                        .expect("build");
                     durable +=
                         built.query(Algorithm::THop, &scorer, &checkpoint_query(id)).records.len();
                 }
@@ -70,7 +71,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let sealed = ShardedEngine::build(&ds, N.div_ceil(SPAN), MAX_TAU);
+    let sealed = ShardedEngine::build(&ds, N.div_ceil(SPAN), MAX_TAU).expect("build");
     let q = DurableQuery { k: 5, tau: 256, interval: Window::new(0, N as u32 - 1) };
     g.bench_function("sharded_query_pool", |b| {
         b.iter(|| sealed.query(Algorithm::THop, &scorer, &q).records.len())

@@ -156,6 +156,51 @@ pub fn parse_stream(args: &Args, algs: &[Algorithm]) -> Result<Option<StreamMode
     Ok(Some(StreamMode { every }))
 }
 
+/// Options of the `serve` replay mode: drive a workload through the
+/// bounded request queue with several client threads while the tail of
+/// the file is ingested live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeMode {
+    /// Concurrent client threads submitting requests (`--clients`).
+    pub clients: usize,
+    /// Total requests replayed across all clients (`--requests`).
+    pub requests: usize,
+    /// Bounded queue capacity (`--queue-cap`).
+    pub queue_cap: usize,
+    /// Shed load when the queue is full (`--reject`) instead of blocking.
+    pub reject: bool,
+    /// Records withheld from the initial build and appended live while
+    /// the clients run (`--ingest`; `None` defaults to a tenth of the
+    /// file).
+    pub ingest: Option<usize>,
+}
+
+/// Parses and validates the `serve` subcommand flags.
+pub fn parse_serve(args: &Args) -> Result<ServeMode, String> {
+    for conflicting in ["stream", "every", "lookahead", "durations", "threads"] {
+        if args.options.contains_key(conflicting) || args.has(conflicting) {
+            return Err(format!("serve cannot be combined with --{conflicting}"));
+        }
+    }
+    let clients: usize = args.parse_or("clients", 4)?;
+    if clients == 0 || clients > MAX_THREADS {
+        return Err(format!("--clients must be between 1 and {MAX_THREADS}, got {clients}"));
+    }
+    let requests: usize = args.parse_or("requests", 400)?;
+    if requests == 0 {
+        return Err("--requests must be at least 1".to_string());
+    }
+    let queue_cap: usize = args.parse_or("queue-cap", 256)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".to_string());
+    }
+    let ingest = match args.options.get("ingest") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|_| format!("--ingest: cannot parse {v:?}"))?),
+    };
+    Ok(ServeMode { clients, requests, queue_cap, reject: args.has("reject"), ingest })
+}
+
 /// Largest worker count the CLI accepts (a typo guard, not a scheduler).
 pub const MAX_THREADS: usize = 1024;
 
@@ -220,6 +265,37 @@ mod tests {
         assert!(parse_threads(&parse("query f.csv --threads 9999")).is_err());
         assert!(parse_threads(&parse("query f.csv --threads -3")).is_err());
         assert!(parse_threads(&parse("query f.csv --threads many")).is_err());
+    }
+
+    #[test]
+    fn serve_validation() {
+        let m = parse_serve(&parse("serve f.csv")).expect("defaults");
+        assert_eq!(
+            m,
+            ServeMode { clients: 4, requests: 400, queue_cap: 256, reject: false, ingest: None }
+        );
+        let m = parse_serve(&parse(
+            "serve f.csv --clients 8 --requests 1000 --queue-cap 32 --reject --ingest 500",
+        ))
+        .expect("explicit");
+        assert_eq!(
+            m,
+            ServeMode {
+                clients: 8,
+                requests: 1000,
+                queue_cap: 32,
+                reject: true,
+                ingest: Some(500)
+            }
+        );
+        assert!(parse_serve(&parse("serve f.csv --clients 0")).is_err());
+        assert!(parse_serve(&parse("serve f.csv --requests 0")).is_err());
+        assert!(parse_serve(&parse("serve f.csv --queue-cap 0")).is_err());
+        assert!(parse_serve(&parse("serve f.csv --ingest lots")).is_err());
+        let err = parse_serve(&parse("serve f.csv --threads 4")).expect_err("threads conflicts");
+        assert!(err.contains("--threads"), "err={err}");
+        let err = parse_serve(&parse("serve f.csv --stream")).expect_err("stream conflicts");
+        assert!(err.contains("--stream"), "err={err}");
     }
 
     #[test]

@@ -10,14 +10,18 @@
 
 mod args;
 
-use args::{parse_algorithms, parse_range, parse_stream, parse_threads, parse_weights, Args};
+use args::{
+    parse_algorithms, parse_range, parse_serve, parse_stream, parse_threads, parse_weights, Args,
+};
 use durable_topk::{
-    Algorithm, Anchor, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, ShardedEngine,
-    Window,
+    Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer,
+    ScorerSpec, ServeEngine, ServeRequest, ShardedEngine, Window,
 };
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 durable-topk — durable top-k queries over instant-stamped CSV data
@@ -30,6 +34,9 @@ USAGE:
                              [--alg tbase|thop|sbase|sband|shop|shop1|all]
                              [--threads N] [--lookahead] [--durations] [--limit N]
                              [--stream [--every M]]
+  durable-topk serve    FILE --k K --tau T [--weights ..] [--alg ..]
+                             [--clients C] [--requests R] [--queue-cap Q]
+                             [--reject] [--ingest M]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
@@ -38,7 +45,13 @@ sweeps every algorithm through the parallel batch executor (--threads 0 =
 use all cores). --stream replays the file into a live sharded engine,
 interleaving appends with a progress query every M arrivals (default: a
 tenth of the file); incompatible with --alg all, --lookahead, --durations,
-and --threads.";
+and --threads. `serve` replays a mixed workload through the bounded
+request queue on the persistent worker pool: C client threads submit R
+requests total (parameters varied around --k/--tau, algorithms cycled)
+while the last M records (default: a tenth of the file) are ingested
+live; --reject sheds load when the queue is full instead of blocking, and
+a sample of the served answers is re-checked against the engine before
+the summary prints throughput and p50/p99 latency.";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -47,6 +60,7 @@ fn main() -> ExitCode {
         "stats" => stats(&args),
         "topk" => topk(&args),
         "query" => query(&args),
+        "serve" => serve(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +90,15 @@ fn load(args: &Args) -> Result<Dataset, String> {
         eprintln!("loaded {} records x {} attributes", imp.dataset.len(), imp.dataset.dim());
     }
     Ok(imp.dataset)
+}
+
+/// Rejects an empty input file with a proper error (nonzero exit) instead
+/// of letting an engine build abort the process.
+fn non_empty(ds: &Dataset, path_hint: &str) -> Result<(), String> {
+    if ds.is_empty() {
+        return Err(format!("{path_hint}: the input holds no records; nothing to query"));
+    }
+    Ok(())
 }
 
 fn scorer_for(args: &Args, dim: usize) -> Result<LinearScorer, String> {
@@ -138,6 +161,7 @@ where
 
 fn topk(args: &Args) -> Result<(), String> {
     let ds = load(args)?;
+    non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
     let k: usize = parse_positive(args, "k", 10)?;
     let (a, b) = parse_range(args.require("window")?)?;
     let scorer = scorer_for(args, ds.dim())?;
@@ -152,6 +176,7 @@ fn topk(args: &Args) -> Result<(), String> {
 
 fn query(args: &Args) -> Result<(), String> {
     let ds = load(args)?;
+    non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
     let n = ds.len() as u32;
     let k: usize = parse_positive(args, "k", 10)?;
     let tau: u32 = parse_positive(args, "tau", (n / 10).max(1))?;
@@ -302,6 +327,196 @@ fn stream_replay(
     if result.records.len() > limit {
         println!("  … {} more (raise --limit)", result.records.len() - limit);
     }
+    Ok(())
+}
+
+/// Latency record of one served request: time in the queue plus execution.
+fn total_latency(queued: Duration, service: Duration) -> Duration {
+    queued + service
+}
+
+/// The `p`-th percentile of a sorted latency list.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replays a mixed workload through the bounded request queue (`serve`):
+/// client threads submit durable top-k requests with varied parameters
+/// while the tail of the file is appended live, exercising background
+/// shard seals under load. A sample of the served answers is re-checked
+/// against the quiesced engine before the summary prints.
+fn serve(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
+    let n = ds.len();
+    let k: usize = parse_positive(args, "k", 10)?;
+    let tau: u32 = parse_positive(args, "tau", ((n as u32) / 10).max(1))?;
+    let algs = parse_algorithms(args.get_or("alg", "all"))?;
+    let mode = parse_serve(args)?;
+    let weights = match args.options.get("weights") {
+        None => None,
+        Some(w) => {
+            let weights = parse_weights(w)?;
+            if weights.len() != ds.dim() {
+                return Err(format!(
+                    "--weights has {} entries but the data has {} attributes",
+                    weights.len(),
+                    ds.dim()
+                ));
+            }
+            Some(weights)
+        }
+    };
+    let scorer = match &weights {
+        None => LinearScorer::uniform(ds.dim()),
+        Some(w) => LinearScorer::new(w.clone()),
+    };
+    let spec = match weights {
+        None => ScorerSpec::Uniform,
+        Some(w) => ScorerSpec::Linear(w),
+    };
+
+    // Withhold the tail for live ingestion; keep at least one record in
+    // the base so the queue has something to serve from the first request.
+    let ingest = mode.ingest.unwrap_or(n / 10).min(n - 1);
+    let base = n - ingest;
+    let span = (tau as usize * 4).clamp(1_024, 262_144);
+    let mut engine = ShardedEngine::try_new_live(ds.dim(), span, tau).map_err(|e| e.to_string())?;
+    if algs.contains(&Algorithm::SBand) {
+        engine = engine.with_skyband_bound(k);
+    }
+    for id in 0..base {
+        engine.append(ds.row(id as u32));
+    }
+    let backpressure = if mode.reject { Backpressure::Reject } else { Backpressure::Block };
+    let serving = ServeEngine::new(engine, mode.queue_cap, backpressure);
+    eprintln!(
+        "serving {} base records, ingesting {ingest} live; {} clients x {} requests, \
+         queue capacity {} ({})",
+        base,
+        mode.clients,
+        mode.requests,
+        mode.queue_cap,
+        if mode.reject { "reject when full" } else { "block when full" },
+    );
+
+    // `appended` publishes how many records are safely queryable: queries
+    // only look backwards, so any interval ending before this watermark
+    // gets the same answer no matter how far ingestion has advanced.
+    let appended = AtomicU32::new(base as u32);
+    let per_client = mode.requests.div_ceil(mode.clients);
+    let started = Instant::now();
+    type Sample = (ServeRequest, Vec<u32>);
+    let (latencies, samples, rejected) = std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for c in 0..mode.clients {
+            let serving = serving.clone();
+            let appended = &appended;
+            let algs = &algs;
+            let spec = spec.clone();
+            clients.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut samples: Vec<Sample> = Vec::new();
+                let mut rejected = 0usize;
+                // The last client takes the remainder so exactly
+                // --requests are issued overall.
+                for i in (c * per_client)..((c + 1) * per_client).min(mode.requests) {
+                    let upto = appended.load(Ordering::Acquire);
+                    // Deterministic parameter sweep around --k/--tau, with
+                    // the interval always inside the published watermark.
+                    let b = (i as u32).wrapping_mul(7919) % upto;
+                    let a = b.saturating_sub(1 + (i as u32).wrapping_mul(104_729) % upto);
+                    let req = ServeRequest {
+                        alg: algs[i % algs.len()],
+                        query: DurableQuery {
+                            k: 1 + i % k,
+                            tau: 1 + (i as u32).wrapping_mul(31) % tau,
+                            interval: Window::new(a, b),
+                        },
+                        scorer: spec.clone(),
+                    };
+                    match serving.submit(req.clone()) {
+                        Ok(handle) => match handle.wait() {
+                            Ok(response) => {
+                                latencies.push(total_latency(response.queued, response.service));
+                                if i % 50 == 0 {
+                                    samples.push((req, response.records));
+                                }
+                            }
+                            Err(e) => return Err(format!("request {i} failed: {e}")),
+                        },
+                        Err(durable_topk::ServeError::QueueFull) => rejected += 1,
+                        Err(e) => return Err(format!("request {i} not accepted: {e}")),
+                    }
+                }
+                Ok((latencies, samples, rejected))
+            }));
+        }
+        // The main thread plays the ingestion side: append the withheld
+        // tail while the clients hammer the queue.
+        for id in base..n {
+            if let Err(e) = serving.append(ds.row(id as u32)) {
+                return Err(format!("append {id} failed: {e}"));
+            }
+            appended.store(id as u32 + 1, Ordering::Release);
+        }
+        let mut latencies = Vec::new();
+        let mut samples = Vec::new();
+        let mut rejected = 0usize;
+        for client in clients {
+            let (lat, smp, rej) = client.join().map_err(|_| "client thread panicked")??;
+            latencies.extend(lat);
+            samples.extend(smp);
+            rejected += rej;
+        }
+        Ok((latencies, samples, rejected))
+    })?;
+    serving.shutdown();
+    let elapsed = started.elapsed();
+
+    // Exactness spot-check: served answers must match direct queries
+    // against the (now quiesced) engine — the ingestion race never shows.
+    serving.quiesce();
+    let engine = serving.engine();
+    for (req, records) in &samples {
+        let direct = engine
+            .try_query(req.alg, &scorer, &req.query)
+            .map_err(|e| format!("verification query failed: {e}"))?;
+        if &direct.records != records {
+            return Err(format!(
+                "served answer diverged from the engine for {req:?}: {} vs {} records",
+                records.len(),
+                direct.records.len()
+            ));
+        }
+    }
+    drop(engine);
+
+    let stats = serving.stats();
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    println!(
+        "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected",
+        stats.completed,
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        samples.len(),
+        rejected,
+    );
+    println!(
+        "latency p50={:.2?} p99={:.2?} max={:.2?}; queue high-water {} of {}; \
+         avg queued {:.2?}, avg service {:.2?}",
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or_default(),
+        stats.max_depth,
+        mode.queue_cap,
+        stats.total_queued.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
+        stats.total_service.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
+    );
     Ok(())
 }
 

@@ -4,6 +4,7 @@
 use crate::algorithms::{s_band, s_base, s_hop, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::duration::max_duration;
+use crate::error::BuildError;
 use crate::oracle::{SegTreeOracle, TopKOracle};
 use crate::query::{DurableQuery, QueryResult};
 use durable_topk_index::{DurableSkybandIndex, OracleScorer};
@@ -96,11 +97,14 @@ impl DurableTopKEngine {
     /// the tree the sealed shard serves (moved outright when the forest
     /// already holds a single tree).
     ///
-    /// # Panics
-    /// Panics if the dataset is empty.
-    pub fn from_parts(ds: Dataset, oracle: SegTreeOracle) -> Self {
-        assert!(!ds.is_empty(), "cannot build an engine over an empty dataset");
-        Self { ds, oracle, skyband: None, reversed: None }
+    /// Errors on an empty dataset instead of panicking: sealing runs on
+    /// pool workers in a serving deployment, where an abort is never the
+    /// right failure mode.
+    pub fn from_parts(ds: Dataset, oracle: SegTreeOracle) -> Result<Self, BuildError> {
+        if ds.is_empty() {
+            return Err(BuildError::EmptyDataset);
+        }
+        Ok(Self { ds, oracle, skyband: None, reversed: None })
     }
 
     /// Adds the durable k-skyband index serving queries with `k <= k_max`

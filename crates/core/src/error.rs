@@ -1,0 +1,117 @@
+//! Typed errors for engine construction and the query path.
+//!
+//! The offline experiment driver could afford to `panic!` on bad input —
+//! the process was the experiment. A serving deployment cannot: a panic on
+//! a routine bad request (a `τ` beyond the shard overlap, an empty CSV)
+//! would take a worker, or the whole process, down with it. These enums
+//! carry the same diagnostics as the old panic messages, so callers that
+//! still want to abort (`ShardedEngine::query`,
+//! `DurableQuery::validate`) print identical text, while the serving layer
+//! ([`ServeEngine`](crate::ServeEngine)) turns them into per-request
+//! failures.
+
+use durable_topk_temporal::Time;
+
+/// Why a `DurTop(k, I, τ)` request cannot be answered.
+///
+/// Everything here is reachable from *request input* — none of these
+/// conditions indicates engine corruption, so a serving worker reports the
+/// error on the request's completion handle and moves on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// `k == 0` — an empty top-k set is not a meaningful query.
+    ZeroK,
+    /// `τ == 0` — durability needs a positive window length.
+    ZeroTau,
+    /// The engine covers no records yet.
+    EmptyDataset,
+    /// The query interval starts past the last ingested record.
+    IntervalOutOfRange {
+        /// Requested interval start.
+        start: Time,
+        /// Last record id currently covered by the engine.
+        last: Time,
+    },
+    /// `τ` exceeds the sharded engine's overlap bound: shards keep only
+    /// `max_tau` records of left context, so exactness cannot be
+    /// guaranteed beyond it.
+    TauExceedsOverlap {
+        /// Requested durability window length.
+        tau: Time,
+        /// The engine's exactness bound.
+        max_tau: Time,
+    },
+    /// A parameter vector's arity does not match the dataset's attribute
+    /// count (scorer weights or appended record).
+    Arity {
+        /// Attribute count of the engine's dataset.
+        expected: usize,
+        /// Arity actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ZeroK => write!(f, "k must be positive"),
+            QueryError::ZeroTau => write!(f, "tau must be positive"),
+            QueryError::EmptyDataset => write!(f, "dataset is empty"),
+            QueryError::IntervalOutOfRange { start, last } => {
+                write!(f, "query interval starting at {start} starts past the last record {last}")
+            }
+            QueryError::TauExceedsOverlap { tau, max_tau } => write!(
+                f,
+                "tau {tau} exceeds the shard overlap max_tau {max_tau}; \
+                 rebuild with a larger bound"
+            ),
+            QueryError::Arity { expected, got } => {
+                write!(f, "arity mismatch: the data has {expected} attributes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Why an engine cannot be constructed over the given inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The dataset holds no records.
+    EmptyDataset,
+    /// A structural parameter (`dim`, `shard_count`, `shard_span`,
+    /// `max_tau`, `leaf_size`) was zero; the name says which.
+    ZeroParam(&'static str),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyDataset => write!(f, "cannot build an engine over an empty dataset"),
+            BuildError::ZeroParam(name) => write!(f, "{name} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_keep_the_historical_diagnostics() {
+        // Callers that still panic print `Display`; these substrings are
+        // load-bearing for #[should_panic] expectations across the suite.
+        assert_eq!(QueryError::ZeroK.to_string(), "k must be positive");
+        assert_eq!(QueryError::ZeroTau.to_string(), "tau must be positive");
+        assert_eq!(QueryError::EmptyDataset.to_string(), "dataset is empty");
+        assert!(QueryError::IntervalOutOfRange { start: 7, last: 4 }
+            .to_string()
+            .contains("starts past"));
+        assert!(QueryError::TauExceedsOverlap { tau: 9, max_tau: 4 }
+            .to_string()
+            .contains("exceeds the shard overlap"));
+        assert!(BuildError::ZeroParam("shard_span").to_string().contains("shard_span"));
+    }
+}

@@ -44,19 +44,27 @@ pub mod batch;
 pub mod context;
 pub mod duration;
 pub mod engine;
+pub mod error;
 pub mod oracle;
 pub mod pool;
 pub mod query;
+pub mod serve;
 pub mod sharded;
 pub mod streaming;
+mod sync;
 
 pub use batch::{batch_query, BatchExecutor};
 pub use context::QueryContext;
 pub use engine::{Algorithm, DurableTopKEngine};
+pub use error::{BuildError, QueryError};
 pub use oracle::{ForestOracle, ScanOracle, SegTreeOracle, TopKOracle};
 pub use pool::WorkerPool;
 pub use query::{DurableQuery, QueryResult, QueryStats};
-pub use sharded::ShardedEngine;
+pub use serve::{
+    Backpressure, ResponseHandle, ScorerSpec, ServeEngine, ServeError, ServeRequest, ServeResponse,
+    ServeStats,
+};
+pub use sharded::{SealMode, ShardedEngine};
 pub use streaming::StreamingMonitor;
 
 // Re-export the vocabulary types callers need.

@@ -21,6 +21,7 @@
 //! for tests or isolation.
 
 use crate::context::QueryContext;
+use crate::sync::lock;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,13 +34,6 @@ use std::thread::JoinHandle;
 /// The regression guard for "the query path spawns nothing" reads this
 /// before and after a query storm and asserts it stayed flat.
 static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
-
-/// Locks a mutex, ignoring poisoning (pool state stays consistent because
-/// user panics are caught at chunk granularity before they can tear any
-/// invariant).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// One batch's work, type-erased. The object lives on the submitting
 /// thread's stack; the pool only dereferences it under the visitor
@@ -99,6 +93,20 @@ struct BatchState {
     pending: usize,
     /// Threads currently inside the batch (may dereference `work`).
     visitors: usize,
+}
+
+/// A standalone fire-and-forget job: runs once on whichever worker pops
+/// it, with that worker's persistent context. Used for background shard
+/// seals and queued serving requests — work that outlives the submitting
+/// call instead of being awaited by it.
+type DetachedJob = Box<dyn FnOnce(&mut QueryContext) + Send + 'static>;
+
+/// What travels down the wake-up channel.
+enum Token {
+    /// Join a cooperative batch (the `run_jobs` path).
+    Batch(Arc<Batch>),
+    /// Run one detached job to completion.
+    Detached(DetachedJob),
 }
 
 /// A submitted batch: shared progress state plus a raw pointer to the
@@ -190,7 +198,7 @@ impl Batch {
 #[derive(Debug)]
 pub struct WorkerPool {
     /// Wake-up channel; `None` only during drop.
-    injector: Option<Sender<Arc<Batch>>>,
+    injector: Option<Sender<Token>>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     /// Contexts loaned to submitting threads for their own participation,
@@ -208,7 +216,7 @@ impl WorkerPool {
         } else {
             threads
         };
-        let (tx, rx) = channel::<Arc<Batch>>();
+        let (tx, rx) = channel::<Token>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
@@ -305,7 +313,7 @@ impl WorkerPool {
             for _ in 0..helpers {
                 // A send can only fail if every worker exited (pool mid-
                 // drop); the caller then drains the batch alone.
-                let _ = tx.send(Arc::clone(&batch));
+                let _ = tx.send(Token::Batch(Arc::clone(&batch)));
             }
         }
         batch.participate(&mut ctx);
@@ -315,6 +323,24 @@ impl WorkerPool {
             std::panic::resume_unwind(payload);
         }
         results.into_iter().map(|r| r.expect("every chunk drained")).collect()
+    }
+
+    /// Hands a standalone job to the pool: it runs once, on whichever
+    /// worker pops it, with that worker's persistent [`QueryContext`] —
+    /// the substrate for background shard seals and queued serving
+    /// requests. Submission never blocks and never spawns.
+    ///
+    /// A panic inside the job is caught at the worker (the worker
+    /// survives and keeps serving); the job itself is responsible for
+    /// reporting failures to whoever awaits its effect.
+    ///
+    /// Returns `false` when the pool is shutting down and cannot take the
+    /// job — the caller should then run it inline.
+    pub fn submit(&self, job: impl FnOnce(&mut QueryContext) + Send + 'static) -> bool {
+        match &self.injector {
+            Some(tx) => tx.send(Token::Detached(Box::new(job))).is_ok(),
+            None => false,
+        }
     }
 
     /// Borrows a spare context (or creates one on cold start).
@@ -340,7 +366,7 @@ impl Drop for WorkerPool {
 
 /// A worker: one persistent context, fed wake-up tokens until the pool
 /// closes its channel.
-fn worker_loop(rx: &Mutex<Receiver<Arc<Batch>>>) {
+fn worker_loop(rx: &Mutex<Receiver<Token>>) {
     let mut ctx = QueryContext::new();
     loop {
         // Holding the lock while blocked is the classic shared-receiver
@@ -348,7 +374,12 @@ fn worker_loop(rx: &Mutex<Receiver<Arc<Batch>>>) {
         // on the mutex, and every token wakes exactly one of them.
         let token = lock(rx).recv();
         match token {
-            Ok(batch) => batch.participate(&mut ctx),
+            Ok(Token::Batch(batch)) => batch.participate(&mut ctx),
+            Ok(Token::Detached(job)) => {
+                // The worker outlives any single job: a panicking request
+                // must cost only that request, never the worker.
+                let _ = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+            }
             Err(_) => break,
         }
     }
@@ -425,6 +456,44 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 257);
         assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn detached_jobs_run_on_pool_workers() {
+        let pool = WorkerPool::new(2);
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..16 {
+            let pair = Arc::clone(&pair);
+            assert!(pool.submit(move |_ctx| {
+                let mut done = lock(&pair.0);
+                *done += 1;
+                pair.1.notify_all();
+            }));
+        }
+        let mut done = lock(&pair.0);
+        while *done < 16 {
+            done = pair.1.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    #[test]
+    fn a_panicking_detached_job_costs_only_itself() {
+        let pool = WorkerPool::new(1);
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        assert!(pool.submit(|_ctx| panic!("request blew up")));
+        // The single worker must survive to run both the next detached job
+        // and cooperative batches.
+        let after = Arc::clone(&pair);
+        assert!(pool.submit(move |_ctx| {
+            *lock(&after.0) = true;
+            after.1.notify_all();
+        }));
+        let mut done = lock(&pair.0);
+        while !*done {
+            done = pair.1.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(done);
+        assert_eq!(pool.run_jobs(3, 3, |i, _ctx| i), vec![0, 1, 2]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Query parameters, results and instrumentation.
 
+use crate::error::QueryError;
 use durable_topk_temporal::{RecordId, Time, Window};
 
 /// Parameters of a durable top-k query `DurTop(k, I, τ)`.
@@ -18,22 +19,36 @@ pub struct DurableQuery {
 }
 
 impl DurableQuery {
+    /// Checks the parameters against a dataset of `n` records, returning
+    /// the interval clamped to the dataset — the serving-safe counterpart
+    /// of [`validate`](DurableQuery::validate).
+    pub fn check(&self, n: usize) -> Result<Window, QueryError> {
+        if self.k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if self.tau == 0 {
+            return Err(QueryError::ZeroTau);
+        }
+        if n == 0 {
+            return Err(QueryError::EmptyDataset);
+        }
+        if (self.interval.start() as usize) >= n {
+            return Err(QueryError::IntervalOutOfRange {
+                start: self.interval.start(),
+                last: (n - 1) as Time,
+            });
+        }
+        Ok(self.interval.clamp_to(n))
+    }
+
     /// Validates the parameters against a dataset of `n` records.
     ///
     /// # Panics
     /// Panics if `k == 0`, `tau == 0`, or the interval lies outside the
-    /// dataset.
+    /// dataset. Fallible callers (the serving layer) use
+    /// [`check`](DurableQuery::check) instead.
     pub fn validate(&self, n: usize) -> Window {
-        assert!(self.k > 0, "k must be positive");
-        assert!(self.tau > 0, "tau must be positive");
-        assert!(n > 0, "dataset is empty");
-        assert!(
-            (self.interval.start() as usize) < n,
-            "query interval {} starts past the last record {}",
-            self.interval,
-            n - 1
-        );
-        self.interval.clamp_to(n)
+        self.check(n).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -118,6 +133,19 @@ mod tests {
     #[should_panic(expected = "starts past")]
     fn validate_rejects_out_of_range_interval() {
         DurableQuery { k: 1, tau: 1, interval: Window::new(7, 9) }.validate(5);
+    }
+
+    #[test]
+    fn check_reports_typed_errors_without_panicking() {
+        let ok = DurableQuery { k: 1, tau: 5, interval: Window::new(2, 100) };
+        assert_eq!(ok.check(10), Ok(Window::new(2, 9)));
+        let bad_k = DurableQuery { k: 0, ..ok };
+        assert_eq!(bad_k.check(10), Err(QueryError::ZeroK));
+        let bad_tau = DurableQuery { tau: 0, ..ok };
+        assert_eq!(bad_tau.check(10), Err(QueryError::ZeroTau));
+        assert_eq!(ok.check(0), Err(QueryError::EmptyDataset));
+        let past = DurableQuery { interval: Window::new(30, 40), ..ok };
+        assert_eq!(past.check(10), Err(QueryError::IntervalOutOfRange { start: 30, last: 9 }));
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //!   preserving the overlap invariant, so queries stay exact for any
 //!   `τ ≤ max_tau` at every point of the ingestion timeline.
 //!
+//! Sealing is the one super-constant step of the append path: collapsing a
+//! forest rebuilds `O(span)` records' worth of index. Under
+//! [`SealMode::Background`] (the default) the collapse runs as a detached
+//! job on the persistent [`WorkerPool`] instead of stalling the appender:
+//! the outgoing head is frozen into an immutable *pending* snapshot that
+//! keeps serving queries through its forest — exactly as it did a moment
+//! earlier as the head — until the sealed tree is published and a later
+//! `append` (or [`quiesce`](ShardedEngine::quiesce)) splices it into the
+//! tail list. Answers are bit-identical either way; only the append tail
+//! latency changes.
+//!
 //! Queries fan `DurTop(k, I, τ)` out across the shards owning a piece of
 //! `I` through the persistent [`WorkerPool`] (no `thread::spawn` on the
 //! query path; each worker reuses its own [`QueryContext`]); per-shard
@@ -31,11 +42,15 @@
 use crate::algorithms::{s_base, s_hop, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::engine::{Algorithm, DurableTopKEngine};
+use crate::error::{BuildError, QueryError};
 use crate::oracle::{ForestOracle, SegTreeOracle};
 use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
+use crate::sync::OnceSlot;
 use durable_topk_index::{AppendableTopKIndex, OracleScorer, TopKResult, DEFAULT_LEAF_SIZE};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// One sealed time shard: an engine over `[ext_lo, hi]` that *owns*
 /// (reports answers for) `[lo, hi]`.
@@ -65,15 +80,90 @@ struct Head {
 
 impl Head {
     /// An empty head whose first owned record will be global id `at`.
-    fn empty(dim: usize, leaf_size: usize, at: usize) -> Self {
+    fn empty(dim: usize, leaf_size: usize, merge_cap: usize, at: usize) -> Self {
         Self {
             ds: Dataset::new(dim),
-            index: AppendableTopKIndex::new(leaf_size),
+            index: AppendableTopKIndex::new(leaf_size).with_merge_limit(merge_cap),
             ext_lo: at as Time,
             lo: at as Time,
         }
     }
 }
+
+/// How the `O(span)` head-seal collapse is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealMode {
+    /// Hand the collapse to the persistent worker pool as a detached job;
+    /// the appender returns immediately and the outgoing head keeps
+    /// serving queries until the sealed tail is published. The default.
+    Background,
+    /// Collapse inline on the appending thread — the pre-serving behavior,
+    /// kept for tail-latency comparison benchmarks and fully deterministic
+    /// shard-state tests.
+    Synchronous,
+}
+
+/// An immutable snapshot of a head handed off for sealing: the data plus
+/// its forest, still serving queries while the background collapse runs.
+#[derive(Debug)]
+struct HeadSnapshot {
+    ds: Dataset,
+    index: AppendableTopKIndex,
+    ext_lo: Time,
+    lo: Time,
+    hi: Time,
+    k_max: Option<usize>,
+}
+
+/// The completion slot a seal publishes into. The producer side is
+/// claim-based ([`OnceSlot::claim`]): either the background pool job or a
+/// waiter that steals the work seals the snapshot, never both.
+type SealSlot = OnceSlot<Result<Shard, String>>;
+
+/// A seal in flight: the snapshot still serving queries, and the slot the
+/// sealed shard will land in.
+#[derive(Debug)]
+struct PendingSeal {
+    snap: Arc<HeadSnapshot>,
+    slot: Arc<SealSlot>,
+}
+
+impl PendingSeal {
+    /// Produces and publishes this seal on the calling thread if no one
+    /// else claimed it yet — the work-stealing path that keeps waiters
+    /// independent of pool scheduling (a waiter may hold a lock the pool
+    /// workers are queued behind; depending on the pool to get to the
+    /// seal job first would deadlock).
+    fn steal_if_unclaimed(&self) {
+        if self.slot.claim() {
+            self.slot.publish(Ok(run_seal(&self.snap)));
+        }
+    }
+}
+
+/// Collapses a head snapshot into a sealed tail shard. Runs on a pool
+/// worker under [`SealMode::Background`], inline otherwise; either way the
+/// snapshot is read-only and the produced shard is published whole.
+fn run_seal(snap: &HeadSnapshot) -> Shard {
+    let tree = snap.index.seal_ref(&snap.ds);
+    let mut engine = DurableTopKEngine::from_parts(snap.ds.clone(), SegTreeOracle::from_tree(tree))
+        .expect("a sealed head always owns records");
+    if let Some(k_max) = snap.k_max {
+        engine = engine.with_skyband_index(k_max);
+    }
+    Shard { engine, ext_lo: snap.ext_lo, lo: snap.lo, hi: snap.hi }
+}
+
+/// Head-forest merge cap for a given shard span (see
+/// [`ShardedEngine::merge_cap`]).
+fn merge_cap_for(shard_span: usize) -> usize {
+    (shard_span / 4).clamp(64, 65_536)
+}
+
+/// Most seals allowed in flight before the appender waits for the oldest —
+/// bounds the extra memory of pending snapshots (each holds one shard's
+/// data plus forest) without stalling the common case.
+const MAX_PENDING_SEALS: usize = 4;
 
 /// A durable top-k engine over contiguous time shards with an appendable
 /// head, serving parallel fan-out queries through the persistent worker
@@ -81,6 +171,10 @@ impl Head {
 #[derive(Debug)]
 pub struct ShardedEngine {
     tails: Vec<Shard>,
+    /// Seals handed to the pool, oldest first. Their snapshots keep
+    /// serving queries until a `&mut self` call splices the published
+    /// shards into `tails`.
+    pending: Vec<PendingSeal>,
     head: Head,
     /// Owned records per sealed shard.
     shard_span: usize,
@@ -91,17 +185,30 @@ pub struct ShardedEngine {
     k_max: Option<usize>,
     /// Leaf granularity of the head forest and sealed trees.
     leaf_size: usize,
+    seal_mode: SealMode,
+    /// Oracle queries served by seal snapshots that have since been
+    /// integrated (their forest counters die with them; this keeps
+    /// [`oracle_queries`](ShardedEngine::oracle_queries) monotone).
+    retired_queries: std::sync::atomic::AtomicU64,
 }
 
 impl ShardedEngine {
     /// Creates an empty, appendable engine: records arrive via
     /// [`append`](ShardedEngine::append), shards seal every `shard_span`
-    /// records, and queries are exact for `τ ≤ max_tau`.
+    /// records (in the background by default), and queries are exact for
+    /// `τ ≤ max_tau`.
     ///
     /// # Panics
-    /// Panics if `dim == 0`, `shard_span == 0` or `max_tau == 0`.
+    /// Panics if `dim == 0`, `shard_span == 0` or `max_tau == 0`. Fallible
+    /// callers use [`try_new_live`](ShardedEngine::try_new_live).
     pub fn new_live(dim: usize, shard_span: usize, max_tau: Time) -> Self {
-        Self::new_live_with_leaf(dim, shard_span, max_tau, DEFAULT_LEAF_SIZE)
+        Self::try_new_live(dim, shard_span, max_tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`new_live`](ShardedEngine::new_live), returning a typed error
+    /// instead of panicking on zero parameters.
+    pub fn try_new_live(dim: usize, shard_span: usize, max_tau: Time) -> Result<Self, BuildError> {
+        Self::try_new_live_with_leaf(dim, shard_span, max_tau, DEFAULT_LEAF_SIZE)
     }
 
     /// As [`new_live`](ShardedEngine::new_live) with an explicit index
@@ -116,20 +223,43 @@ impl ShardedEngine {
         max_tau: Time,
         leaf_size: usize,
     ) -> Self {
-        assert!(dim > 0, "dim must be positive");
-        assert!(shard_span > 0, "shard_span must be positive");
-        assert!(max_tau > 0, "max_tau must be positive");
-        assert!(leaf_size > 0, "leaf size must be positive");
-        Self {
+        Self::try_new_live_with_leaf(dim, shard_span, max_tau, leaf_size)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`new_live_with_leaf`](ShardedEngine::new_live_with_leaf),
+    /// returning a typed error instead of panicking on zero parameters.
+    pub fn try_new_live_with_leaf(
+        dim: usize,
+        shard_span: usize,
+        max_tau: Time,
+        leaf_size: usize,
+    ) -> Result<Self, BuildError> {
+        if dim == 0 {
+            return Err(BuildError::ZeroParam("dim"));
+        }
+        if shard_span == 0 {
+            return Err(BuildError::ZeroParam("shard_span"));
+        }
+        if max_tau == 0 {
+            return Err(BuildError::ZeroParam("max_tau"));
+        }
+        if leaf_size == 0 {
+            return Err(BuildError::ZeroParam("leaf size"));
+        }
+        Ok(Self {
             tails: Vec::new(),
-            head: Head::empty(dim, leaf_size, 0),
+            pending: Vec::new(),
+            head: Head::empty(dim, leaf_size, merge_cap_for(shard_span), 0),
             shard_span,
             max_tau,
             len: 0,
             dim,
             k_max: None,
             leaf_size,
-        }
+            seal_mode: SealMode::Background,
+            retired_queries: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// Requests a durable k-skyband index (enabling [`Algorithm::SBand`]
@@ -137,6 +267,13 @@ impl ShardedEngine {
     /// `k <= k_max`.
     pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
         self.k_max = Some(k_max);
+        self
+    }
+
+    /// Selects how head seals are executed (default:
+    /// [`SealMode::Background`]).
+    pub fn with_seal_mode(mut self, mode: SealMode) -> Self {
+        self.seal_mode = mode;
         self
     }
 
@@ -149,10 +286,10 @@ impl ShardedEngine {
     /// serve exactly: every shard keeps `max_tau` records of left context,
     /// so any query with `τ ≤ max_tau` matches the unsharded engine.
     ///
-    /// # Panics
-    /// Panics if the dataset is empty, `shard_count == 0`, or
-    /// `max_tau == 0`.
-    pub fn build(ds: &Dataset, shard_count: usize, max_tau: Time) -> Self {
+    /// Errors on an empty dataset or a zero parameter instead of
+    /// panicking, so a serving front end can surface bad input as a
+    /// response rather than an abort.
+    pub fn build(ds: &Dataset, shard_count: usize, max_tau: Time) -> Result<Self, BuildError> {
         Self::build_inner(ds, shard_count, max_tau, None)
     }
 
@@ -164,14 +301,25 @@ impl ShardedEngine {
         shard_count: usize,
         max_tau: Time,
         k_max: usize,
-    ) -> Self {
+    ) -> Result<Self, BuildError> {
         Self::build_inner(ds, shard_count, max_tau, Some(k_max))
     }
 
-    fn build_inner(ds: &Dataset, shard_count: usize, max_tau: Time, k_max: Option<usize>) -> Self {
-        assert!(!ds.is_empty(), "cannot shard an empty dataset");
-        assert!(shard_count > 0, "shard_count must be positive");
-        assert!(max_tau > 0, "max_tau must be positive");
+    fn build_inner(
+        ds: &Dataset,
+        shard_count: usize,
+        max_tau: Time,
+        k_max: Option<usize>,
+    ) -> Result<Self, BuildError> {
+        if ds.is_empty() {
+            return Err(BuildError::EmptyDataset);
+        }
+        if shard_count == 0 {
+            return Err(BuildError::ZeroParam("shard_count"));
+        }
+        if max_tau == 0 {
+            return Err(BuildError::ZeroParam("max_tau"));
+        }
         let n = ds.len();
         let per_shard = n.div_ceil(shard_count.min(n));
         // Ceil-division can need fewer shards than requested (e.g. 10
@@ -205,16 +353,29 @@ impl ShardedEngine {
         // Prime an empty head with the trailing max_tau records as context.
         let mut engine = Self {
             tails,
-            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, n),
+            pending: Vec::new(),
+            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, merge_cap_for(per_shard), n),
             shard_span: per_shard,
             max_tau,
             len: n,
             dim: ds.dim(),
             k_max,
             leaf_size: DEFAULT_LEAF_SIZE,
+            seal_mode: SealMode::Background,
+            retired_queries: std::sync::atomic::AtomicU64::new(0),
         };
         engine.head = engine.fresh_head(|i| ds.row(i as Time), n);
-        engine
+        Ok(engine)
+    }
+
+    /// Largest tree the head forest's merge cascade may build. The head
+    /// is sealed (rebuilt into one balanced tree, off the append path)
+    /// every `shard_span` records anyway, so merges beyond a fraction of
+    /// the span are wasted work *and* the dominant append-latency spike;
+    /// capping them bounds the worst single append at an `O(span/4)`
+    /// rebuild.
+    fn merge_cap(&self) -> usize {
+        merge_cap_for(self.shard_span)
     }
 
     /// Builds a head whose context is the trailing `max_tau` of the first
@@ -225,24 +386,30 @@ impl ShardedEngine {
         for i in (n - ctx_len)..n {
             ds.push(row(i));
         }
-        let index = AppendableTopKIndex::build(&ds, self.leaf_size);
+        let index =
+            AppendableTopKIndex::build(&ds, self.leaf_size).with_merge_limit(self.merge_cap());
         Head { ds, index, ext_lo: (n - ctx_len) as Time, lo: n as Time }
     }
 
     /// Ingests one record, returning its global id. The record lands in
     /// the head shard's forest in amortized polylogarithmic time; every
-    /// `shard_span` appends the head seals into an immutable tail shard.
+    /// `shard_span` appends the head is handed off for sealing (a
+    /// background pool job by default — see [`SealMode`]), so the append
+    /// path itself never pays the `O(span)` collapse.
     ///
     /// # Panics
     /// Panics if the attribute arity mismatches.
     pub fn append(&mut self, attrs: &[f64]) -> RecordId {
         assert_eq!(attrs.len(), self.dim, "attribute arity mismatch");
+        // Splice in any seals the pool finished since the last call —
+        // O(1) amortized, keeps the pending list short.
+        self.integrate_ready();
         let id = self.len as RecordId;
         self.head.ds.push(attrs);
         self.head.index.append(&self.head.ds);
         self.len += 1;
         if self.head_owned() >= self.shard_span {
-            self.seal_head();
+            self.hand_off_seal();
         }
         id
     }
@@ -252,34 +419,132 @@ impl ShardedEngine {
         self.len - self.head.lo as usize
     }
 
-    /// Freezes the head into a tail shard (collapsing its forest into one
-    /// segment tree, no copy of the sub-dataset) and starts a fresh head
-    /// whose context is the trailing `max_tau` records.
-    fn seal_head(&mut self) {
-        let hi = (self.len - 1) as Time;
-        let head =
-            std::mem::replace(&mut self.head, Head::empty(self.dim, self.leaf_size, self.len));
-        let oracle = SegTreeOracle::from_tree(head.index.seal(&head.ds));
-        let mut engine = DurableTopKEngine::from_parts(head.ds, oracle);
-        if let Some(k_max) = self.k_max {
-            engine = engine.with_skyband_index(k_max);
+    /// Freezes the full head into an immutable pending snapshot, hands the
+    /// `O(span)` collapse to the worker pool (or runs it inline under
+    /// [`SealMode::Synchronous`]), and starts a fresh head whose context is
+    /// the trailing `max_tau` records. The snapshot keeps serving queries
+    /// until the sealed shard is published and integrated.
+    fn hand_off_seal(&mut self) {
+        // Backpressure: never hold more than a few snapshots' worth of
+        // extra memory. Waiting here is rare (the pool seals far faster
+        // than `span` records usually arrive).
+        while self.pending.len() >= MAX_PENDING_SEALS {
+            self.integrate_front_blocking();
         }
-        self.tails.push(Shard { engine, ext_lo: head.ext_lo, lo: head.lo, hi });
-        // The sealed sub-dataset always reaches back max_tau records (or to
-        // time zero), so its tail is exactly the new head's context.
-        let sealed = self.tails.last().expect("just sealed").engine.dataset();
-        let base = self.len - sealed.len();
-        self.head = self.fresh_head(|i| sealed.row((i - base) as RecordId), self.len);
+        let hi = (self.len - 1) as Time;
+        let head = std::mem::replace(
+            &mut self.head,
+            Head::empty(self.dim, self.leaf_size, merge_cap_for(self.shard_span), self.len),
+        );
+        let snap = Arc::new(HeadSnapshot {
+            ds: head.ds,
+            index: head.index,
+            ext_lo: head.ext_lo,
+            lo: head.lo,
+            hi,
+            k_max: self.k_max,
+        });
+        // The outgoing head's sub-dataset always reaches back max_tau
+        // records (or to time zero), so its tail is exactly the new head's
+        // context.
+        let base = snap.ext_lo as usize;
+        self.head = self.fresh_head(|i| snap.ds.row((i - base) as RecordId), self.len);
+
+        let slot = Arc::new(SealSlot::default());
+        match self.seal_mode {
+            SealMode::Background => {
+                let job_snap = Arc::clone(&snap);
+                let job_slot = Arc::clone(&slot);
+                let submitted = WorkerPool::global().submit(move |_ctx| {
+                    // A waiter may have stolen the seal while this job sat
+                    // in the pool queue; produce only if we claim first.
+                    if job_slot.claim() {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| run_seal(&job_snap)))
+                            .map_err(|_| "background seal panicked".to_string());
+                        job_slot.publish(outcome);
+                    }
+                });
+                if !submitted && slot.claim() {
+                    // Pool shutting down: seal inline rather than leak an
+                    // unfulfillable slot.
+                    slot.publish(Ok(run_seal(&snap)));
+                }
+            }
+            SealMode::Synchronous => {
+                slot.claim();
+                slot.publish(Ok(run_seal(&snap)));
+            }
+        }
+        self.pending.push(PendingSeal { snap, slot });
+        if self.seal_mode == SealMode::Synchronous {
+            self.integrate_ready();
+        }
     }
 
-    /// Number of shards (sealed tails plus the head when it owns records).
+    /// Splices every already-published seal (oldest first) into the tail
+    /// list. Stops at the first still-running seal: tails must stay in
+    /// time order.
+    fn integrate_ready(&mut self) {
+        while !self.pending.is_empty() {
+            let Some(outcome) = self.pending[0].slot.try_take() else { break };
+            let sealed = self.pending.remove(0);
+            self.integrate(sealed, outcome);
+        }
+    }
+
+    /// Retires a completed seal into the tail list, carrying the
+    /// snapshot's query counters over so cumulative instrumentation never
+    /// goes backwards when the snapshot (and its forest counters) drops.
+    fn integrate(&mut self, sealed: PendingSeal, outcome: Result<Shard, String>) {
+        self.retired_queries.fetch_add(
+            sealed.snap.index.counters().queries(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.tails.push(outcome.unwrap_or_else(|_| run_seal(&sealed.snap)));
+    }
+
+    /// Integrates the oldest pending seal, producing it on this thread if
+    /// the pool has not started it yet (work stealing — see
+    /// [`PendingSeal::steal_if_unclaimed`]). Never depends on pool
+    /// progress: the callers hold locks that pool workers may be queued
+    /// behind (e.g. the serving engine's write lock while every worker
+    /// waits on its read side), so merely *waiting* for the pool here
+    /// could deadlock the process. If the pool job already claimed the
+    /// seal it is actively running on snapshot-only data and publishes
+    /// promptly; a failed (panicked) job is redone inline from the still-
+    /// whole snapshot.
+    fn integrate_front_blocking(&mut self) {
+        let sealed = self.pending.remove(0);
+        sealed.steal_if_unclaimed();
+        let outcome = sealed.slot.take_blocking();
+        self.integrate(sealed, outcome);
+    }
+
+    /// Waits for every in-flight background seal and splices the results
+    /// into the tail list. Queries do not need this — pending snapshots
+    /// serve exactly — but deterministic shard-state inspection and
+    /// orderly teardown do.
+    pub fn quiesce(&mut self) {
+        while !self.pending.is_empty() {
+            self.integrate_front_blocking();
+        }
+    }
+
+    /// Number of shards (sealed tails, seals in flight, plus the head when
+    /// it owns records).
     pub fn shard_count(&self) -> usize {
-        self.tails.len() + usize::from(self.head_owned() > 0)
+        self.sealed_shards() + usize::from(self.head_owned() > 0)
     }
 
-    /// Number of sealed (immutable) shards.
+    /// Number of sealed shards: integrated tails plus seals still in
+    /// flight (their snapshots are already immutable).
     pub fn sealed_shards(&self) -> usize {
-        self.tails.len()
+        self.tails.len() + self.pending.len()
+    }
+
+    /// Seals currently in flight on the worker pool.
+    pub fn pending_seals(&self) -> usize {
+        self.pending.len()
     }
 
     /// Records covered by the sharded engine.
@@ -290,6 +555,11 @@ impl ShardedEngine {
     /// Whether the engine covers no records.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Attribute arity of the engine's records.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The largest `τ` this engine answers exactly.
@@ -303,30 +573,45 @@ impl ShardedEngine {
     /// answers. Identical to [`DurableTopKEngine::query`] over the same
     /// history for `τ ≤ max_tau`.
     ///
-    /// On the mutable head, [`Algorithm::SBand`] is served by S-Hop with
-    /// [`QueryStats::fallback`] set (the head carries no skyband index).
+    /// On the mutable head (and on snapshots whose background seal is
+    /// still in flight), [`Algorithm::SBand`] is served by S-Hop with
+    /// [`QueryStats::fallback`] set (forests carry no skyband index).
     ///
     /// # Panics
     /// Panics on invalid parameters or if `query.tau > self.max_tau()` (the
-    /// shard overlap cannot guarantee exactness beyond it).
+    /// shard overlap cannot guarantee exactness beyond it). Serving
+    /// callers use [`try_query`](ShardedEngine::try_query), which returns
+    /// these conditions as typed [`QueryError`]s instead.
     pub fn query<S: OracleScorer + Sync + ?Sized>(
         &self,
         alg: Algorithm,
         scorer: &S,
         query: &DurableQuery,
     ) -> QueryResult {
-        assert!(
-            query.tau <= self.max_tau,
-            "tau {} exceeds the shard overlap max_tau {}; rebuild with a larger bound",
-            query.tau,
-            self.max_tau
-        );
-        query.validate(self.len);
-        let interval = query.interval.clamp_to(self.len);
+        self.try_query(alg, scorer, query).unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        /// One fan-out unit: a shard (or the head) plus its localized query.
+    /// Fallible form of [`query`](ShardedEngine::query): every condition
+    /// reachable from request input (`τ` beyond the overlap, zero `k`/`τ`,
+    /// an empty engine, an interval past the history) comes back as a
+    /// [`QueryError`] instead of a panic, so a serving worker can fail one
+    /// request without dying.
+    pub fn try_query<S: OracleScorer + Sync + ?Sized>(
+        &self,
+        alg: Algorithm,
+        scorer: &S,
+        query: &DurableQuery,
+    ) -> Result<QueryResult, QueryError> {
+        if query.tau > self.max_tau {
+            return Err(QueryError::TauExceedsOverlap { tau: query.tau, max_tau: self.max_tau });
+        }
+        let interval = query.check(self.len)?;
+
+        /// One fan-out unit: a shard (sealed, sealing, or the head) plus
+        /// its localized query.
         enum Job<'a> {
             Tail(&'a Shard, DurableQuery),
+            Sealing(&'a HeadSnapshot, DurableQuery),
             Head(DurableQuery),
         }
         let localize = |piece: Window, ext_lo: Time| DurableQuery {
@@ -342,6 +627,12 @@ impl ShardedEngine {
                 Some(Job::Tail(shard, localize(piece, shard.ext_lo)))
             })
             .collect();
+        for pending in &self.pending {
+            let snap = pending.snap.as_ref();
+            if let Some(piece) = interval.intersect(Window::new(snap.lo, snap.hi)) {
+                jobs.push(Job::Sealing(snap, localize(piece, snap.ext_lo)));
+            }
+        }
         if self.head_owned() > 0 {
             let owned = Window::new(self.head.lo, (self.len - 1) as Time);
             if let Some(piece) = interval.intersect(owned) {
@@ -352,7 +643,12 @@ impl ShardedEngine {
         let partials =
             WorkerPool::global().run_jobs(jobs.len(), jobs.len(), |i, ctx| match &jobs[i] {
                 Job::Tail(shard, local) => shard.engine.query_with(alg, scorer, local, ctx),
-                Job::Head(local) => self.query_head(alg, scorer, local, ctx),
+                Job::Sealing(snap, local) => {
+                    query_forest(&snap.ds, &snap.index, alg, scorer, local, ctx)
+                }
+                Job::Head(local) => {
+                    query_forest(&self.head.ds, &self.head.index, alg, scorer, local, ctx)
+                }
             });
 
         // Merge: map local ids home and concatenate. Shards own disjoint,
@@ -363,39 +659,13 @@ impl ShardedEngine {
         for (job, partial) in jobs.iter().zip(partials) {
             let ext_lo = match job {
                 Job::Tail(shard, _) => shard.ext_lo,
+                Job::Sealing(snap, _) => snap.ext_lo,
                 Job::Head(_) => self.head.ext_lo,
             };
             records.extend(partial.records.iter().map(|&id| id + ext_lo));
             stats.absorb(&partial.stats);
         }
-        QueryResult { records, stats }
-    }
-
-    /// Runs a localized query against the head's forest oracle.
-    fn query_head<S: OracleScorer + ?Sized>(
-        &self,
-        alg: Algorithm,
-        scorer: &S,
-        local: &DurableQuery,
-        ctx: &mut QueryContext,
-    ) -> QueryResult {
-        let ds = &self.head.ds;
-        let oracle = ForestOracle::new(&self.head.index);
-        match alg {
-            Algorithm::TBase => t_base(ds, &oracle, scorer, local, ctx),
-            Algorithm::THop => t_hop(ds, &oracle, scorer, local, ctx),
-            Algorithm::SBase => s_base(ds, scorer, local, ctx),
-            Algorithm::SHop => s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx),
-            Algorithm::SHopTop1 => s_hop(ds, &oracle, scorer, local, RefillMode::Top1, ctx),
-            Algorithm::SBand => {
-                // The mutable head carries no skyband index; serve with
-                // S-Hop and flag the substitution, mirroring
-                // DurableTopKEngine's graceful degradation.
-                let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
-                result.stats.fallback = true;
-                result
-            }
-        }
+        Ok(QueryResult { records, stats })
     }
 
     /// Answers the preference top-k query `Q(u, k, W)` over the whole
@@ -440,6 +710,14 @@ impl ShardedEngine {
                 merge.extend(out.items.iter().map(|&(id, s)| (id + shard.ext_lo, s)));
             }
         }
+        for pending in &self.pending {
+            let snap = pending.snap.as_ref();
+            if let Some(piece) = w.intersect(Window::new(snap.lo, snap.hi)) {
+                let local = Window::new(piece.start() - snap.ext_lo, piece.end() - snap.ext_lo);
+                snap.index.top_k_with(&snap.ds, scorer, k, local, &mut ctx.oracle, out);
+                merge.extend(out.items.iter().map(|&(id, s)| (id + snap.ext_lo, s)));
+            }
+        }
         if self.head_owned() > 0 {
             let owned = Window::new(self.head.lo, (self.len - 1) as Time);
             if let Some(piece) = w.intersect(owned) {
@@ -468,10 +746,14 @@ impl ShardedEngine {
     }
 
     /// Cumulative top-k queries issued across all shard oracles (sealed
-    /// tails plus the head forest).
+    /// tails, sealing snapshots — including ones that have since
+    /// integrated — plus the head forest). Monotone until
+    /// [`reset_counters`](ShardedEngine::reset_counters).
     pub fn oracle_queries(&self) -> u64 {
         let tails: u64 = self.tails.iter().map(|s| s.engine.oracle_queries()).sum();
-        tails + self.head.index.counters().queries()
+        let sealing: u64 = self.pending.iter().map(|p| p.snap.index.counters().queries()).sum();
+        let retired = self.retired_queries.load(std::sync::atomic::Ordering::Relaxed);
+        tails + sealing + retired + self.head.index.counters().queries()
     }
 
     /// Resets instrumentation on every shard.
@@ -479,7 +761,39 @@ impl ShardedEngine {
         for shard in &self.tails {
             shard.engine.reset_counters();
         }
+        for pending in &self.pending {
+            pending.snap.index.counters().reset();
+        }
+        self.retired_queries.store(0, std::sync::atomic::Ordering::Relaxed);
         self.head.index.counters().reset();
+    }
+}
+
+/// Runs a localized query against a forest-indexed sub-dataset (the
+/// mutable head, or a pending snapshot whose seal is still collapsing).
+fn query_forest<S: OracleScorer + ?Sized>(
+    ds: &Dataset,
+    index: &AppendableTopKIndex,
+    alg: Algorithm,
+    scorer: &S,
+    local: &DurableQuery,
+    ctx: &mut QueryContext,
+) -> QueryResult {
+    let oracle = ForestOracle::new(index);
+    match alg {
+        Algorithm::TBase => t_base(ds, &oracle, scorer, local, ctx),
+        Algorithm::THop => t_hop(ds, &oracle, scorer, local, ctx),
+        Algorithm::SBase => s_base(ds, scorer, local, ctx),
+        Algorithm::SHop => s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx),
+        Algorithm::SHopTop1 => s_hop(ds, &oracle, scorer, local, RefillMode::Top1, ctx),
+        Algorithm::SBand => {
+            // Forests carry no skyband index; serve with S-Hop and flag
+            // the substitution, mirroring DurableTopKEngine's graceful
+            // degradation.
+            let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
+            result.stats.fallback = true;
+            result
+        }
     }
 }
 
@@ -501,7 +815,7 @@ mod tests {
         let q = DurableQuery { k: 4, tau: 150, interval: Window::new(100, 1_899) };
         let expected = flat.query(Algorithm::THop, &scorer, &q);
         for shard_count in [1, 2, 3, 7, 16] {
-            let sharded = ShardedEngine::build(&ds, shard_count, 200);
+            let sharded = ShardedEngine::build(&ds, shard_count, 200).expect("build");
             for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::TBase] {
                 let got = sharded.query(alg, &scorer, &q);
                 assert_eq!(got.records, expected.records, "shards={shard_count} alg={alg}");
@@ -512,7 +826,7 @@ mod tests {
     #[test]
     fn interval_touching_few_shards_only_queries_those() {
         let ds = dataset(1_000);
-        let sharded = ShardedEngine::build(&ds, 10, 50);
+        let sharded = ShardedEngine::build(&ds, 10, 50).expect("build");
         sharded.reset_counters();
         let scorer = LinearScorer::uniform(2);
         // Interval inside shard 3's owned range [300, 399].
@@ -528,7 +842,7 @@ mod tests {
     #[test]
     fn sband_served_per_shard_with_skyband_indexes() {
         let ds = dataset(1_200);
-        let sharded = ShardedEngine::build_with_skyband(&ds, 4, 100, 8);
+        let sharded = ShardedEngine::build_with_skyband(&ds, 4, 100, 8).expect("build");
         let flat = DurableTopKEngine::new(ds).with_skyband_index(8);
         let scorer = LinearScorer::new(vec![0.4, 0.6]);
         let q = DurableQuery { k: 5, tau: 90, interval: Window::new(0, 1_199) };
@@ -541,10 +855,54 @@ mod tests {
     #[should_panic(expected = "exceeds the shard overlap")]
     fn tau_beyond_overlap_is_rejected() {
         let ds = dataset(300);
-        let sharded = ShardedEngine::build(&ds, 3, 20);
+        let sharded = ShardedEngine::build(&ds, 3, 20).expect("build");
         let scorer = LinearScorer::uniform(2);
         let q = DurableQuery { k: 1, tau: 21, interval: Window::new(0, 299) };
         sharded.query(Algorithm::THop, &scorer, &q);
+    }
+
+    #[test]
+    fn try_query_reports_bad_requests_as_typed_errors() {
+        let ds = dataset(300);
+        let sharded = ShardedEngine::build(&ds, 3, 20).expect("build");
+        let scorer = LinearScorer::uniform(2);
+        let base = DurableQuery { k: 1, tau: 5, interval: Window::new(0, 299) };
+        let over = DurableQuery { tau: 21, ..base };
+        assert_eq!(
+            sharded.try_query(Algorithm::THop, &scorer, &over).unwrap_err(),
+            QueryError::TauExceedsOverlap { tau: 21, max_tau: 20 }
+        );
+        let zero_k = DurableQuery { k: 0, ..base };
+        assert_eq!(
+            sharded.try_query(Algorithm::THop, &scorer, &zero_k).unwrap_err(),
+            QueryError::ZeroK
+        );
+        let past = DurableQuery { interval: Window::new(900, 950), ..base };
+        assert_eq!(
+            sharded.try_query(Algorithm::THop, &scorer, &past).unwrap_err(),
+            QueryError::IntervalOutOfRange { start: 900, last: 299 }
+        );
+        // The engine still serves after every rejection.
+        assert!(sharded.try_query(Algorithm::THop, &scorer, &base).is_ok());
+    }
+
+    #[test]
+    fn build_rejects_degenerate_inputs_without_panicking() {
+        assert_eq!(
+            ShardedEngine::build(&Dataset::new(2), 3, 10).unwrap_err(),
+            BuildError::EmptyDataset
+        );
+        let ds = dataset(10);
+        assert_eq!(
+            ShardedEngine::build(&ds, 0, 10).unwrap_err(),
+            BuildError::ZeroParam("shard_count")
+        );
+        assert_eq!(ShardedEngine::build(&ds, 3, 0).unwrap_err(), BuildError::ZeroParam("max_tau"));
+        assert_eq!(
+            ShardedEngine::try_new_live(2, 0, 4).unwrap_err(),
+            BuildError::ZeroParam("shard_span")
+        );
+        assert_eq!(ShardedEngine::try_new_live(0, 8, 4).unwrap_err(), BuildError::ZeroParam("dim"));
     }
 
     #[test]
@@ -552,7 +910,7 @@ mod tests {
         // ceil(10/7) = 2 per shard -> only 5 shards are needed; shards 6 and
         // 7 must not materialize as empty (they used to crash build/query).
         let ds = dataset(10);
-        let sharded = ShardedEngine::build(&ds, 7, 2);
+        let sharded = ShardedEngine::build(&ds, 7, 2).expect("build");
         assert_eq!(sharded.shard_count(), 5);
         let flat = DurableTopKEngine::new(ds.clone());
         let scorer = LinearScorer::uniform(2);
@@ -563,7 +921,7 @@ mod tests {
         );
         // A second awkward split: 5 records over 4 shards.
         let ds = dataset(5);
-        let sharded = ShardedEngine::build(&ds, 4, 1);
+        let sharded = ShardedEngine::build(&ds, 4, 1).expect("build");
         assert_eq!(sharded.shard_count(), 3);
         let flat = DurableTopKEngine::new(ds);
         let q = DurableQuery { k: 1, tau: 1, interval: Window::new(0, 4) };
@@ -576,7 +934,7 @@ mod tests {
     #[test]
     fn more_shards_than_records_clamps() {
         let ds = dataset(5);
-        let sharded = ShardedEngine::build(&ds, 64, 3);
+        let sharded = ShardedEngine::build(&ds, 64, 3).expect("build");
         assert_eq!(sharded.shard_count(), 5);
         let scorer = LinearScorer::uniform(2);
         let q = DurableQuery { k: 1, tau: 2, interval: Window::new(0, 4) };
@@ -609,12 +967,55 @@ mod tests {
                 assert_eq!(got.records, expected.records, "alg={alg} q={q:?}");
             }
         }
+        // Quiescing (waiting out the background seals) changes which
+        // substrate serves each piece, never the answers.
+        live.quiesce();
+        assert_eq!(live.pending_seals(), 0);
+        let q = DurableQuery { k: 3, tau: 40, interval: Window::new(0, 499) };
+        assert_eq!(
+            live.query(Algorithm::THop, &scorer, &q).records,
+            flat.query(Algorithm::THop, &scorer, &q).records
+        );
+    }
+
+    #[test]
+    fn background_and_synchronous_sealing_agree() {
+        let ds = dataset(400);
+        let scorer = LinearScorer::new(vec![0.3, 0.7]);
+        let mut background = ShardedEngine::new_live(2, 32, 24);
+        let mut synchronous =
+            ShardedEngine::new_live(2, 32, 24).with_seal_mode(SealMode::Synchronous);
+        for id in 0..400u32 {
+            background.append(ds.row(id));
+            synchronous.append(ds.row(id));
+            if id % 37 == 5 {
+                let q = DurableQuery { k: 2, tau: 20, interval: Window::new(0, id) };
+                assert_eq!(
+                    background.query(Algorithm::THop, &scorer, &q).records,
+                    synchronous.query(Algorithm::THop, &scorer, &q).records,
+                    "after {} appends",
+                    id + 1
+                );
+            }
+        }
+        // Synchronous mode never leaves seals in flight.
+        assert_eq!(synchronous.pending_seals(), 0);
+        // Cumulative instrumentation survives integration: the queries a
+        // pending snapshot served must not vanish when its sealed shard
+        // replaces it.
+        let before_quiesce = background.oracle_queries();
+        background.quiesce();
+        assert!(
+            background.oracle_queries() >= before_quiesce,
+            "oracle_queries must stay monotone across seal integration"
+        );
+        assert_eq!(background.sealed_shards(), synchronous.sealed_shards());
     }
 
     #[test]
     fn append_after_build_continues_the_timeline() {
         let ds = dataset(300);
-        let mut sharded = ShardedEngine::build(&ds, 3, 30);
+        let mut sharded = ShardedEngine::build(&ds, 3, 30).expect("build");
         let mut full = ds.clone();
         for i in 300..420usize {
             let row = [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
@@ -685,6 +1086,9 @@ mod tests {
         }
         assert_eq!(live.sealed_shards(), 4);
         assert_eq!(live.shard_count(), 4, "no owned head records after an exact multiple");
+        // In-flight seals serve S-Band via the flagged S-Hop substitute;
+        // once integrated, every shard carries the skyband index.
+        live.quiesce();
         let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 255) };
         let got = live.query(Algorithm::SBand, &scorer, &q);
         assert!(!got.stats.fallback, "sealed shards carry the skyband index");

@@ -14,9 +14,11 @@
 //! Since PR 3 the monitor is a thin facade over the live
 //! [`ShardedEngine`]: arrivals land in the engine's mutable head shard
 //! (amortized-cheap forest maintenance), old shards seal and stay
-//! immutable, and historical queries fan out across the shards through the
-//! persistent worker pool — streaming and sharding are one system instead
-//! of two parallel implementations.
+//! immutable — with the `O(span)` seal collapse running as a background
+//! worker-pool job, so `push` never stalls on a shard rotation — and
+//! historical queries fan out across the shards through the persistent
+//! worker pool: streaming and sharding are one system instead of two
+//! parallel implementations.
 
 use crate::algorithms::{s_hop, t_hop, RefillMode};
 use crate::context::QueryContext;
@@ -136,6 +138,14 @@ impl StreamingMonitor {
     /// The backing live sharded engine (shard counts, direct queries).
     pub fn engine(&self) -> &ShardedEngine {
         &self.engine
+    }
+
+    /// Waits out every in-flight background shard seal of the backing
+    /// engine. Queries are exact without this (pending snapshots serve
+    /// through their forests); deterministic shard-state inspection and
+    /// orderly teardown want it.
+    pub fn quiesce(&mut self) {
+        self.engine.quiesce();
     }
 
     /// Ingests a record and reports whether it is τ-durable (look-back,

@@ -1,0 +1,96 @@
+//! Small synchronization utilities shared by the execution and serving
+//! layers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, ignoring poisoning. Safe throughout this crate because
+/// guarded state is updated in single steps and user code (scorers,
+/// algorithm bodies) never runs under an internal lock — a panicking
+/// request is caught at chunk/request granularity before it can tear any
+/// invariant.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A oneshot completion slot: one producer publishes a value, consumers
+/// poll or block for it. Backs both seal publication
+/// ([`ShardedEngine`](crate::ShardedEngine)'s background collapses) and
+/// request completion handles ([`ServeEngine`](crate::ServeEngine)).
+///
+/// The `claim` flag supports *work stealing*: when the value is produced
+/// by a detached pool job, a waiter that cannot afford to depend on pool
+/// scheduling (e.g. an appender holding a lock the pool workers might be
+/// queued behind) first tries to claim production for itself; whoever
+/// wins the claim computes and publishes, the loser just waits. This
+/// breaks any cycle where the producer's turn on the pool never comes.
+#[derive(Debug)]
+pub(crate) struct OnceSlot<T> {
+    ready: Mutex<Option<T>>,
+    done: Condvar,
+    claimed: AtomicBool,
+}
+
+// Manual impl: `derive` would demand `T: Default`, which the payload
+// types have no reason to satisfy.
+impl<T> Default for OnceSlot<T> {
+    fn default() -> Self {
+        Self { ready: Mutex::new(None), done: Condvar::new(), claimed: AtomicBool::new(false) }
+    }
+}
+
+impl<T> OnceSlot<T> {
+    /// Atomically claims the right to produce the value. Returns `true`
+    /// exactly once across all callers.
+    pub(crate) fn claim(&self) -> bool {
+        !self.claimed.swap(true, Ordering::AcqRel)
+    }
+
+    /// Publishes the value and wakes every waiter.
+    pub(crate) fn publish(&self, value: T) {
+        *lock(&self.ready) = Some(value);
+        self.done.notify_all();
+    }
+
+    /// Takes the value if it was already published (non-blocking).
+    pub(crate) fn try_take(&self) -> Option<T> {
+        lock(&self.ready).take()
+    }
+
+    /// Blocks until the value is published, then takes it.
+    pub(crate) fn take_blocking(&self) -> T {
+        let mut ready = lock(&self.ready);
+        loop {
+            if let Some(value) = ready.take() {
+                return value;
+            }
+            ready = self.done.wait(ready).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_is_granted_exactly_once() {
+        let slot: OnceSlot<u32> = OnceSlot::default();
+        assert!(slot.claim());
+        assert!(!slot.claim());
+        assert!(!slot.claim());
+    }
+
+    #[test]
+    fn publish_wakes_a_blocked_taker() {
+        let slot = Arc::new(OnceSlot::<u32>::default());
+        let taker = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.take_blocking())
+        };
+        slot.publish(42);
+        assert_eq!(taker.join().expect("taker"), 42);
+        assert_eq!(slot.try_take(), None, "oneshot: the value is consumed");
+    }
+}

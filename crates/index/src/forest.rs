@@ -21,6 +21,9 @@ pub struct AppendableTopKIndex {
     trees: Vec<SkylineSegTree>,
     n: usize,
     leaf_size: usize,
+    /// Largest tree the binary-counter cascade may produce; `None` keeps
+    /// the classical unbounded counter.
+    merge_limit: Option<usize>,
     counters: QueryCounters,
 }
 
@@ -31,7 +34,33 @@ impl AppendableTopKIndex {
     /// Panics if `leaf_size == 0`.
     pub fn new(leaf_size: usize) -> Self {
         assert!(leaf_size > 0, "leaf size must be positive");
-        Self { trees: Vec::new(), n: 0, leaf_size, counters: QueryCounters::default() }
+        Self {
+            trees: Vec::new(),
+            n: 0,
+            leaf_size,
+            merge_limit: None,
+            counters: QueryCounters::default(),
+        }
+    }
+
+    /// Caps the binary-counter cascade: no merge may produce a tree
+    /// covering more than `limit` records, bounding the worst-case cost
+    /// of a single [`append`](AppendableTopKIndex::append) at an
+    /// `O(limit)` rebuild instead of `O(n)`.
+    ///
+    /// The price is more trees — `O(n / limit)` full-sized ones instead
+    /// of `O(log n)` total — so queries fan out wider. The sweet spot is
+    /// a forest that is *sealed* (rebuilt into one balanced tree) every
+    /// `span` appends anyway: merges past the cap are pure wasted work
+    /// there, because [`seal`](AppendableTopKIndex::seal) rebuilds from
+    /// scratch whenever more than one tree remains.
+    ///
+    /// # Panics
+    /// Panics if `limit == 0`.
+    pub fn with_merge_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "merge limit must be positive");
+        self.merge_limit = Some(limit);
+        self
     }
 
     /// Builds the index over an existing dataset (one tree), ready for
@@ -75,11 +104,15 @@ impl AppendableTopKIndex {
         let t = self.n as Time;
         self.trees.push(SkylineSegTree::build_over(ds, t, t, self.leaf_size));
         self.n += 1;
-        // Binary-counter merge: combine equal-length suffix trees.
+        // Binary-counter merge: combine equal-length suffix trees (up to
+        // the merge cap, when one is set).
         while self.trees.len() >= 2 {
             let last = self.trees[self.trees.len() - 1].coverage();
             let prev = self.trees[self.trees.len() - 2].coverage();
             if prev.len() != last.len() {
+                break;
+            }
+            if self.merge_limit.is_some_and(|cap| prev.len() + last.len() > cap) {
                 break;
             }
             self.trees.pop();
@@ -110,6 +143,22 @@ impl AppendableTopKIndex {
         assert!(!self.is_empty(), "cannot seal an empty index");
         if self.trees.len() == 1 {
             return self.trees.pop().expect("one tree");
+        }
+        SkylineSegTree::build_over(ds, 0, (self.n - 1) as Time, self.leaf_size)
+    }
+
+    /// As [`seal`](AppendableTopKIndex::seal), leaving the forest intact —
+    /// the background-seal path, where a frozen head snapshot must keep
+    /// serving queries while its collapse runs on a pool worker. The
+    /// single-tree case clones that tree (a flat memcpy) instead of
+    /// rebuilding.
+    ///
+    /// # Panics
+    /// Panics if the index is empty.
+    pub fn seal_ref(&self, ds: &Dataset) -> SkylineSegTree {
+        assert!(!self.is_empty(), "cannot seal an empty index");
+        if self.trees.len() == 1 {
+            return self.trees[0].clone();
         }
         SkylineSegTree::build_over(ds, 0, (self.n - 1) as Time, self.leaf_size)
     }
@@ -229,6 +278,37 @@ mod tests {
         let scorer = LinearScorer::new(vec![1.0]);
         let r = idx.top_k(&ds, &scorer, 2, Window::new(0, 3));
         assert_eq!(r.items, vec![(3, 9.0), (0, 3.0)]);
+    }
+
+    #[test]
+    fn merge_limit_bounds_tree_size_and_stays_exact() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut ds = Dataset::new(2);
+        let mut capped = AppendableTopKIndex::new(4).with_merge_limit(16);
+        let mut classic = AppendableTopKIndex::new(4);
+        let scorer = LinearScorer::new(vec![0.7, 0.3]);
+        for step in 0..300usize {
+            ds.push(&[rng.random_range(0..25) as f64, rng.random_range(0..25) as f64]);
+            capped.append(&ds);
+            classic.append(&ds);
+            if step % 23 == 0 {
+                let n = ds.len() as Time;
+                let w = Window::new(n / 3, n - 1);
+                let k = 1 + step % 4;
+                assert_eq!(
+                    capped.top_k(&ds, &scorer, k, w),
+                    classic.top_k(&ds, &scorer, k, w),
+                    "step={step}"
+                );
+            }
+        }
+        // No tree exceeds the cap, so the worst single append rebuilt at
+        // most 16 records; the price is a linear (bounded) tree count.
+        assert!(capped.tree_count() >= 300 / 16, "capped forests keep cap-sized trees");
+        // The sealed shapes agree too.
+        let a = capped.seal(&ds);
+        let b = classic.seal(&ds);
+        assert_eq!(a.coverage(), b.coverage());
     }
 
     #[test]

@@ -385,9 +385,10 @@ impl SkylineSegTree {
         Self::build_over(ds, 0, (ds.len() - 1) as Time, leaf_size)
     }
 
-    /// Builds the index over a sub-range of the dataset (used by the
-    /// appendable forest).
-    pub(crate) fn build_over(ds: &Dataset, lo: Time, hi: Time, leaf_size: usize) -> Self {
+    /// Builds the index over a sub-range of the dataset — the appendable
+    /// forest's per-tree build, and the shard-seal collapse (which rebuilds
+    /// a frozen head snapshot's range on a background worker).
+    pub fn build_over(ds: &Dataset, lo: Time, hi: Time, leaf_size: usize) -> Self {
         let mut tree = Self {
             nodes: Vec::with_capacity(2 * ((hi - lo) as usize + 1) / leaf_size + 2),
             root: -1,

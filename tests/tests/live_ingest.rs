@@ -85,7 +85,7 @@ proptest! {
         }
 
         // Final dataset: grown engine vs from-scratch sharded build vs flat.
-        let rebuilt = ShardedEngine::build(&ds, n.div_ceil(span), max_tau);
+        let rebuilt = ShardedEngine::build(&ds, n.div_ceil(span), max_tau).expect("build");
         let flat = DurableTopKEngine::new(ds.clone());
         for spec in &specs {
             let (alg, q) = materialize(spec, n as u32, max_tau);
@@ -130,7 +130,7 @@ proptest! {
 #[test]
 fn query_path_spawns_no_threads() {
     let ds = Dataset::from_rows(2, (0..600).map(|i| [((i * 37) % 101) as f64, (i % 13) as f64]));
-    let sharded = ShardedEngine::build(&ds, 5, 60);
+    let sharded = ShardedEngine::build(&ds, 5, 60).expect("build");
     let engine = DurableTopKEngine::new(ds.clone());
     let executor = BatchExecutor::new(4);
     let scorer = LinearScorer::new(vec![0.5, 0.5]);
@@ -164,11 +164,14 @@ fn append_path_spawns_no_threads() {
     let mut live = ShardedEngine::new_live(2, 32, 16);
     // Warm the global pool through an unrelated build first.
     let warm_ds = Dataset::from_rows(2, (0..64).map(|i| [i as f64, (64 - i) as f64]));
-    let _ = ShardedEngine::build(&warm_ds, 2, 8);
+    let _ = ShardedEngine::build(&warm_ds, 2, 8).expect("build");
     let before = WorkerPool::threads_spawned();
     for i in 0..500usize {
         live.append(&[((i * 7) % 23) as f64, ((i * 3) % 17) as f64]);
     }
     assert!(live.sealed_shards() > 10, "appends must have sealed shards");
+    // Waiting out the background seals reuses pool workers too.
+    live.quiesce();
+    assert_eq!(live.pending_seals(), 0);
     assert_eq!(WorkerPool::threads_spawned(), before, "append/seal must not spawn");
 }
