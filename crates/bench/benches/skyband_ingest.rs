@@ -1,0 +1,78 @@
+//! Cost and payoff of incremental skyband maintenance on the live path.
+//!
+//! The `append_*` pair prices the maintainer itself: identical ingestion
+//! runs with the durable k-skyband maintainer off (S-Band falls back to
+//! S-Hop on the head) and on (S-Band native everywhere). The `head_*`
+//! pair measures what that buys: the same `DurTop` query against a head
+//! shard that never sealed, answered by native S-Band versus S-Hop — the
+//! algorithm the old fallback substituted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use durable_topk::{Algorithm, DurableQuery, LinearScorer, ShardedEngine, Window};
+use durable_topk_workloads::ind;
+
+const N: usize = 20_000;
+const SPAN: usize = 4_096;
+const MAX_TAU: u32 = 512;
+const K_MAX: usize = 8;
+
+/// Records kept entirely in the mutable head for the query pair: a span
+/// no run ever reaches.
+const HEAD_N: usize = 8_192;
+
+fn bench(c: &mut Criterion) {
+    let ds = ind(N, 2, 7);
+    let scorer = LinearScorer::uniform(2);
+    let mut g = c.benchmark_group("skyband_ingest");
+    g.sample_size(10);
+
+    g.bench_function("append_20k_no_skyband", |b| {
+        b.iter(|| {
+            let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU);
+            for id in 0..N as u32 {
+                live.append(ds.row(id));
+            }
+            live.len()
+        })
+    });
+
+    g.bench_function("append_20k_skyband_k8", |b| {
+        b.iter(|| {
+            let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_skyband_bound(K_MAX);
+            for id in 0..N as u32 {
+                live.append(ds.row(id));
+            }
+            live.len()
+        })
+    });
+
+    // A pure head shard: span larger than the run, so every record stays
+    // in the appendable forest — the regime the S-Hop fallback used to
+    // own exclusively.
+    let mut head = ShardedEngine::new_live(2, HEAD_N * 2, MAX_TAU).with_skyband_bound(K_MAX);
+    for id in 0..HEAD_N as u32 {
+        head.append(ds.row(id));
+    }
+    assert_eq!(head.sealed_shards(), 0, "the whole run must stay in the head");
+    let q = DurableQuery { k: 5, tau: 256, interval: Window::new(0, HEAD_N as u32 - 1) };
+    let native = head.query(Algorithm::SBand, &scorer, &q);
+    assert!(native.stats.fallback.is_none(), "the head must serve S-Band natively");
+    assert_eq!(
+        native.records,
+        head.query(Algorithm::SHop, &scorer, &q).records,
+        "both series must answer identically"
+    );
+
+    g.bench_function("head_sband_native", |b| {
+        b.iter(|| head.query(Algorithm::SBand, &scorer, &q).records.len())
+    });
+
+    g.bench_function("head_shop_fallback_equivalent", |b| {
+        b.iter(|| head.query(Algorithm::SHop, &scorer, &q).records.len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

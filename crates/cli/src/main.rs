@@ -14,8 +14,9 @@ use args::{
     parse_algorithms, parse_range, parse_serve, parse_stream, parse_threads, parse_weights, Args,
 };
 use durable_topk::{
-    Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer,
-    ScorerSpec, ServeEngine, ServeRequest, ShardedEngine, Window,
+    Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine,
+    FallbackReason, LinearScorer, QueryStats, ScorerSpec, ServeEngine, ServeRequest, ShardedEngine,
+    Window,
 };
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
@@ -99,6 +100,25 @@ fn non_empty(ds: &Dataset, path_hint: &str) -> Result<(), String> {
         return Err(format!("{path_hint}: the input holds no records; nothing to query"));
     }
     Ok(())
+}
+
+/// Renders a query's fallback state as a summary-line suffix.
+fn fallback_note(stats: &QueryStats) -> String {
+    match stats.fallback {
+        None => String::new(),
+        Some(reason) => format!(" (fallback: {reason})"),
+    }
+}
+
+/// Renders a query's fallback state as a sweep-table cell.
+fn fallback_cell(stats: &QueryStats) -> &'static str {
+    match stats.fallback {
+        None => "no",
+        Some(FallbackReason::MissingSkybandIndex) => "missing-index",
+        Some(FallbackReason::SkybandBoundExceeded) => "k-bound",
+        Some(FallbackReason::NonMonotoneScorer) => "non-monotone",
+        Some(FallbackReason::TauBeyondOverlap) => "tau-overlap",
+    }
 }
 
 fn scorer_for(args: &Args, dim: usize) -> Result<LinearScorer, String> {
@@ -229,7 +249,7 @@ fn query(args: &Args) -> Result<(), String> {
         if lookahead { "look-ahead" } else { "look-back" },
         elapsed,
         result.stats.topk_queries(),
-        if result.stats.fallback { " (S-Band unavailable; served by S-Hop)" } else { "" },
+        fallback_note(&result.stats),
     );
     for &id in result.records.iter().take(limit) {
         if args.has("durations") {
@@ -311,11 +331,7 @@ fn stream_replay(
         q.tau,
         q.interval,
         result.stats.topk_queries(),
-        if result.stats.fallback {
-            " (S-Band unavailable on the head; S-Hop served it)"
-        } else {
-            ""
-        },
+        fallback_note(&result.stats),
     );
     for &id in result.records.iter().take(limit) {
         println!(
@@ -411,7 +427,7 @@ fn serve(args: &Args) -> Result<(), String> {
     let per_client = mode.requests.div_ceil(mode.clients);
     let started = Instant::now();
     type Sample = (ServeRequest, Vec<u32>);
-    let (latencies, samples, rejected) = std::thread::scope(|scope| {
+    let (latencies, samples, rejected, fallbacks) = std::thread::scope(|scope| {
         let mut clients = Vec::new();
         for c in 0..mode.clients {
             let serving = serving.clone();
@@ -422,6 +438,7 @@ fn serve(args: &Args) -> Result<(), String> {
                 let mut latencies = Vec::with_capacity(per_client);
                 let mut samples: Vec<Sample> = Vec::new();
                 let mut rejected = 0usize;
+                let mut fallbacks = 0usize;
                 // The last client takes the remainder so exactly
                 // --requests are issued overall.
                 for i in (c * per_client)..((c + 1) * per_client).min(mode.requests) {
@@ -443,6 +460,7 @@ fn serve(args: &Args) -> Result<(), String> {
                         Ok(handle) => match handle.wait() {
                             Ok(response) => {
                                 latencies.push(total_latency(response.queued, response.service));
+                                fallbacks += usize::from(response.stats.is_fallback());
                                 if i % 50 == 0 {
                                     samples.push((req, response.records));
                                 }
@@ -453,7 +471,7 @@ fn serve(args: &Args) -> Result<(), String> {
                         Err(e) => return Err(format!("request {i} not accepted: {e}")),
                     }
                 }
-                Ok((latencies, samples, rejected))
+                Ok((latencies, samples, rejected, fallbacks))
             }));
         }
         // The main thread plays the ingestion side: append the withheld
@@ -467,13 +485,15 @@ fn serve(args: &Args) -> Result<(), String> {
         let mut latencies = Vec::new();
         let mut samples = Vec::new();
         let mut rejected = 0usize;
+        let mut fallbacks = 0usize;
         for client in clients {
-            let (lat, smp, rej) = client.join().map_err(|_| "client thread panicked")??;
+            let (lat, smp, rej, fbk) = client.join().map_err(|_| "client thread panicked")??;
             latencies.extend(lat);
             samples.extend(smp);
             rejected += rej;
+            fallbacks += fbk;
         }
-        Ok((latencies, samples, rejected))
+        Ok((latencies, samples, rejected, fallbacks))
     })?;
     serving.shutdown();
     let elapsed = started.elapsed();
@@ -499,8 +519,12 @@ fn serve(args: &Args) -> Result<(), String> {
     let stats = serving.stats();
     let mut sorted = latencies.clone();
     sorted.sort_unstable();
+    // `fallbacks=` is machine-checked by the CI serve smoke: with a
+    // skyband bound covering the sweep, any nonzero count means an index
+    // went missing somewhere on the ingestion timeline.
     println!(
-        "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected",
+        "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected, \
+         fallbacks={fallbacks}",
         stats.completed,
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
         samples.len(),
@@ -544,17 +568,17 @@ fn sweep(
         elapsed,
     );
     println!(
-        "{:<8} {:>14} {:>12} {:>12} {:>9}",
+        "{:<8} {:>14} {:>12} {:>12} {:>13}",
         "alg", "topk-queries", "checks", "candidates", "fallback"
     );
     for (alg, r) in algs.iter().zip(&results) {
         println!(
-            "{:<8} {:>14} {:>12} {:>12} {:>9}",
+            "{:<8} {:>14} {:>12} {:>12} {:>13}",
             alg.to_string(),
             r.stats.topk_queries(),
             r.stats.durability_checks,
             r.stats.candidates,
-            if r.stats.fallback { "yes" } else { "no" },
+            fallback_cell(&r.stats),
         );
         if r.records != results[0].records {
             return Err(format!("answer mismatch: {alg} disagrees with {}", algs[0]));

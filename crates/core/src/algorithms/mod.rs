@@ -24,6 +24,7 @@ mod tbase;
 mod thop;
 
 pub use sband::s_band;
+pub(crate) use sband::sband_fallback_reason;
 pub use sbase::s_base;
 pub(crate) use shop::ShopScratch;
 pub use shop::{s_hop, RefillMode};

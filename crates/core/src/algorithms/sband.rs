@@ -12,11 +12,38 @@
 
 use crate::context::QueryContext;
 use crate::oracle::TopKOracle;
-use crate::query::{DurableQuery, QueryResult, QueryStats};
-use durable_topk_index::{DurableSkybandIndex, OracleScorer};
+use crate::query::{DurableQuery, FallbackReason, QueryResult, QueryStats};
+use durable_topk_index::{OracleScorer, SkybandCandidates};
 use durable_topk_temporal::{Dataset, Window};
 
+/// Classifies why an S-Band request cannot be served natively by the given
+/// candidate source, or `None` when it can. One derivation shared by every
+/// dispatch site (sealed engine, head forest), so the same request can
+/// never be classified differently depending on which substrate serves it.
+pub(crate) fn sband_fallback_reason<C, S>(
+    index: Option<&C>,
+    scorer: &S,
+    k: usize,
+) -> Option<FallbackReason>
+where
+    C: SkybandCandidates + ?Sized,
+    S: OracleScorer + ?Sized,
+{
+    match index {
+        None => Some(FallbackReason::MissingSkybandIndex),
+        Some(_) if !scorer.is_monotone() => Some(FallbackReason::NonMonotoneScorer),
+        Some(idx) if k > idx.max_k() => Some(FallbackReason::SkybandBoundExceeded),
+        Some(_) => None,
+    }
+}
+
 /// Runs S-Band. See the module docs.
+///
+/// Generic over the candidate source: the static
+/// [`DurableSkybandIndex`](durable_topk_index::DurableSkybandIndex) of a
+/// sealed shard, or the
+/// [`IncrementalSkybandIndex`](durable_topk_index::IncrementalSkybandIndex)
+/// riding a still-growing head shard's forest.
 ///
 /// # Panics
 /// Panics on invalid query parameters, if the scorer is not monotone (the
@@ -24,10 +51,10 @@ use durable_topk_temporal::{Dataset, Window};
 /// exceeds the index's largest level. The engine front-end
 /// ([`DurableTopKEngine::query`](crate::DurableTopKEngine::query)) degrades
 /// to S-Hop instead of panicking on the latter two.
-pub fn s_band<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
+pub fn s_band<O: TopKOracle + ?Sized, C: SkybandCandidates + ?Sized, S: OracleScorer + ?Sized>(
     ds: &Dataset,
     oracle: &O,
-    index: &DurableSkybandIndex,
+    index: &C,
     scorer: &S,
     query: &DurableQuery,
     ctx: &mut QueryContext,
@@ -92,6 +119,7 @@ pub fn s_band<O: TopKOracle + ?Sized, S: OracleScorer + ?Sized>(
 mod tests {
     use super::*;
     use crate::oracle::ScanOracle;
+    use durable_topk_index::DurableSkybandIndex;
     use durable_topk_temporal::{Dataset, LinearScorer};
 
     fn setup(n: usize) -> (Dataset, ScanOracle, DurableSkybandIndex) {

@@ -1,7 +1,7 @@
 //! High-level query engine tying the dataset, indexes and algorithms
 //! together.
 
-use crate::algorithms::{s_band, s_base, s_hop, t_base, t_hop, RefillMode};
+use crate::algorithms::{s_band, s_base, s_hop, sband_fallback_reason, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::duration::max_duration;
 use crate::error::BuildError;
@@ -114,6 +114,14 @@ impl DurableTopKEngine {
         self
     }
 
+    /// Installs an already-built skyband index — the shard-sealing path,
+    /// where the head's incremental maintainer froze its durations into
+    /// the static index so the seal never rescans the history.
+    pub fn with_prebuilt_skyband(mut self, index: DurableSkybandIndex) -> Self {
+        self.skyband = Some(index);
+        self
+    }
+
     /// Pre-builds the reversed twin enabling
     /// [`Anchor::LookAhead`] queries via
     /// [`query_anchored`](DurableTopKEngine::query_anchored).
@@ -191,19 +199,24 @@ impl DurableTopKEngine {
             Algorithm::TBase => t_base(&self.ds, &self.oracle, scorer, query, ctx),
             Algorithm::THop => t_hop(&self.ds, &self.oracle, scorer, query, ctx),
             Algorithm::SBase => s_base(&self.ds, scorer, query, ctx),
-            Algorithm::SBand => match &self.skyband {
-                Some(idx) if scorer.is_monotone() && query.k <= idx.max_k() => {
-                    s_band(&self.ds, &self.oracle, idx, scorer, query, ctx)
+            Algorithm::SBand => {
+                let reason = sband_fallback_reason(self.skyband.as_ref(), scorer, query.k);
+                match reason {
+                    None => {
+                        let idx = self.skyband.as_ref().expect("reason checked Some");
+                        s_band(&self.ds, &self.oracle, idx, scorer, query, ctx)
+                    }
+                    Some(reason) => {
+                        // Graceful degradation: S-Hop answers the same
+                        // query without the candidate index, and the stats
+                        // carry why.
+                        let mut result =
+                            s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx);
+                        result.stats.fallback = Some(reason);
+                        result
+                    }
                 }
-                _ => {
-                    // Graceful degradation: S-Hop answers the same query
-                    // without the candidate index.
-                    let mut result =
-                        s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx);
-                    result.stats.fallback = true;
-                    result
-                }
-            },
+            }
             Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx),
             Algorithm::SHopTop1 => {
                 s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1, ctx)
@@ -280,6 +293,7 @@ impl DurableTopKEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::FallbackReason;
     use durable_topk_temporal::{LinearScorer, SingleAttributeScorer};
     use rand::prelude::*;
 
@@ -379,10 +393,15 @@ mod tests {
         let scorer = LinearScorer::uniform(2);
         let q = DurableQuery { k: 2, tau: 8, interval: Window::new(0, 39) };
         let got = engine.query(Algorithm::SBand, &scorer, &q);
-        assert!(got.stats.fallback, "missing index must be flagged as a fallback");
+        assert_eq!(
+            got.stats.fallback,
+            Some(FallbackReason::MissingSkybandIndex),
+            "missing index must be flagged with its reason"
+        );
+        assert!(!got.stats.fallback.expect("set").is_expected(), "missing index is gate-worthy");
         let reference = engine.query(Algorithm::SHop, &scorer, &q);
         assert_eq!(got.records, reference.records);
-        assert!(!reference.stats.fallback);
+        assert!(reference.stats.fallback.is_none());
     }
 
     #[test]
@@ -392,11 +411,15 @@ mod tests {
         let scorer = LinearScorer::new(vec![0.7, 0.3]);
         let q = DurableQuery { k: 11, tau: 20, interval: Window::new(0, 119) };
         let got = engine.query(Algorithm::SBand, &scorer, &q);
-        assert!(got.stats.fallback, "k above the build bound must fall back");
+        assert_eq!(
+            got.stats.fallback,
+            Some(FallbackReason::SkybandBoundExceeded),
+            "k above the build bound must fall back with its reason"
+        );
         assert_eq!(got.records, engine.query(Algorithm::THop, &scorer, &q).records);
         // Within the bound the real S-Band path serves the query.
         let in_bound = DurableQuery { k: 8, ..q };
-        assert!(!engine.query(Algorithm::SBand, &scorer, &in_bound).stats.fallback);
+        assert!(engine.query(Algorithm::SBand, &scorer, &in_bound).stats.fallback.is_none());
     }
 
     #[test]
@@ -406,7 +429,8 @@ mod tests {
         let scorer = crate::CosineScorer::new(vec![0.6, 0.8]);
         let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, 79) };
         let got = engine.query(Algorithm::SBand, &scorer, &q);
-        assert!(got.stats.fallback);
+        assert_eq!(got.stats.fallback, Some(FallbackReason::NonMonotoneScorer));
+        assert!(got.stats.fallback.expect("set").is_expected());
         assert_eq!(got.records, engine.query(Algorithm::SHop, &scorer, &q).records);
     }
 

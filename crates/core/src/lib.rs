@@ -59,7 +59,7 @@ pub use engine::{Algorithm, DurableTopKEngine};
 pub use error::{BuildError, QueryError};
 pub use oracle::{ForestOracle, ScanOracle, SegTreeOracle, TopKOracle};
 pub use pool::WorkerPool;
-pub use query::{DurableQuery, QueryResult, QueryStats};
+pub use query::{DurableQuery, FallbackReason, QueryResult, QueryStats};
 pub use serve::{
     Backpressure, ResponseHandle, ScorerSpec, ServeEngine, ServeError, ServeRequest, ServeResponse,
     ServeStats,
@@ -68,7 +68,9 @@ pub use sharded::{SealMode, ShardedEngine};
 pub use streaming::StreamingMonitor;
 
 // Re-export the vocabulary types callers need.
-pub use durable_topk_index::{OracleScorer, OracleScratch, TopKResult};
+pub use durable_topk_index::{
+    IncrementalSkybandIndex, OracleScorer, OracleScratch, SkybandCandidates, TopKResult,
+};
 pub use durable_topk_temporal::{
     Anchor, CosineScorer, Dataset, LinearScorer, MonotoneCombinationScorer, MonotoneTransform,
     RecordId, Scorer, SingleAttributeScorer, Time, Window,

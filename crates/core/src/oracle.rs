@@ -1,7 +1,7 @@
 //! The top-k "building block" abstraction.
 //!
 //! The paper's algorithms treat the top-k query `Q(u, k, W)` as a black box:
-//! *"the novelty and major contribution of our algorithms come from [their]
+//! *"the novelty and major contribution of our algorithms come from \[their\]
 //! ability to reduce and bound the number of invocations of the building
 //! block, totally independent of how the building block operates itself."*
 //! [`TopKOracle`] is that black box; the durable top-k algorithms are

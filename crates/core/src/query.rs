@@ -52,6 +52,57 @@ impl DurableQuery {
     }
 }
 
+/// Why an engine substituted a different execution for the requested one.
+///
+/// Splitting the old boolean flag into reasons separates *expected*
+/// degradations (a non-monotone scorer cannot use skyband pruning; a `τ`
+/// beyond the shard overlap is served by the scan-backed exact path) from
+/// the one that signals a missing capability — an S-Band request finding
+/// no skyband index at all, which a regression gate should fail on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// S-Band was requested but the serving substrate carries no durable
+    /// k-skyband index. This is the "index went missing" signal CI gates
+    /// on: a correctly configured engine never reports it.
+    MissingSkybandIndex,
+    /// S-Band was requested with `k` above the skyband build bound; the
+    /// candidate superset guarantee no longer holds, so S-Hop serves the
+    /// query. Expected when clients exceed the configured bound.
+    SkybandBoundExceeded,
+    /// S-Band's k-skyband pruning argument requires a monotone scoring
+    /// function; S-Hop (which does not) serves non-monotone scorers.
+    NonMonotoneScorer,
+    /// `τ` exceeded the sharded engine's overlap (`max_tau`), so the query
+    /// ran on the ingesting thread against the scan-exact whole-history
+    /// oracle instead of the per-shard fan-out — the expected overlap miss
+    /// of [`StreamingMonitor::query`](crate::StreamingMonitor::query),
+    /// still exact.
+    TauBeyondOverlap,
+}
+
+impl FallbackReason {
+    /// Whether the degradation is an expected consequence of the request
+    /// (as opposed to a missing index, which a gate should fail on).
+    pub fn is_expected(&self) -> bool {
+        !matches!(self, FallbackReason::MissingSkybandIndex)
+    }
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackReason::MissingSkybandIndex => "no skyband index; S-Hop served the query",
+            FallbackReason::SkybandBoundExceeded => {
+                "k exceeds the skyband build bound; S-Hop served the query"
+            }
+            FallbackReason::NonMonotoneScorer => "non-monotone scorer; S-Hop served the query",
+            FallbackReason::TauBeyondOverlap => {
+                "tau exceeds the shard overlap; served exactly by the scan-backed oracle"
+            }
+        })
+    }
+}
+
 /// Instrumentation of one query execution — the quantities the paper's
 /// figures report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,11 +117,10 @@ pub struct QueryStats {
     pub candidates: u64,
     /// Candidates skipped purely by the blocking mechanism.
     pub blocked_skips: u64,
-    /// Whether the engine substituted a different algorithm for the
-    /// requested one (S-Band gracefully degrades to S-Hop when `k` exceeds
-    /// the skyband build bound, no index was built, or the scorer is not
-    /// monotone).
-    pub fallback: bool,
+    /// Set when the engine substituted a different execution for the
+    /// requested one, carrying why (see [`FallbackReason`]); `None` means
+    /// the requested algorithm served the query natively.
+    pub fallback: Option<FallbackReason>,
 }
 
 impl QueryStats {
@@ -79,14 +129,26 @@ impl QueryStats {
         self.durability_checks + self.refill_queries
     }
 
+    /// Whether any substitution happened (the old boolean view).
+    pub fn is_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
     /// Accumulates another execution's counters into this one (used when
-    /// merging per-shard results).
+    /// merging per-shard results). When shards report different fallback
+    /// reasons, the gate-worthy one (a missing index) wins over expected
+    /// degradations so a merged answer can never mask it.
     pub fn absorb(&mut self, other: &QueryStats) {
         self.durability_checks += other.durability_checks;
         self.refill_queries += other.refill_queries;
         self.candidates += other.candidates;
         self.blocked_skips += other.blocked_skips;
-        self.fallback |= other.fallback;
+        self.fallback = match (self.fallback, other.fallback) {
+            (Some(mine), Some(theirs)) if mine.is_expected() && !theirs.is_expected() => {
+                Some(theirs)
+            }
+            (mine, theirs) => mine.or(theirs),
+        };
     }
 }
 
@@ -152,6 +214,34 @@ mod tests {
     fn stats_total() {
         let s = QueryStats { durability_checks: 3, refill_queries: 4, ..Default::default() };
         assert_eq!(s.topk_queries(), 7);
+    }
+
+    #[test]
+    fn absorb_never_masks_a_missing_index_behind_an_expected_reason() {
+        // Merge order must not decide whether the gate-worthy reason
+        // survives: whichever side carries MissingSkybandIndex wins.
+        let missing = QueryStats {
+            fallback: Some(FallbackReason::MissingSkybandIndex),
+            ..Default::default()
+        };
+        let expected =
+            QueryStats { fallback: Some(FallbackReason::NonMonotoneScorer), ..Default::default() };
+        let mut a = expected;
+        a.absorb(&missing);
+        assert_eq!(a.fallback, Some(FallbackReason::MissingSkybandIndex));
+        let mut b = missing;
+        b.absorb(&expected);
+        assert_eq!(b.fallback, Some(FallbackReason::MissingSkybandIndex));
+        // Two expected reasons: the first one set is kept; None absorbs.
+        let mut c = expected;
+        c.absorb(&QueryStats {
+            fallback: Some(FallbackReason::TauBeyondOverlap),
+            ..Default::default()
+        });
+        assert_eq!(c.fallback, Some(FallbackReason::NonMonotoneScorer));
+        let mut d = QueryStats::default();
+        d.absorb(&expected);
+        assert_eq!(d.fallback, Some(FallbackReason::NonMonotoneScorer));
     }
 
     #[test]

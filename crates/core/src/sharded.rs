@@ -39,7 +39,7 @@
 //! record-for-record identical to an unsharded engine over the same
 //! history for every `τ ≤ max_tau`.
 
-use crate::algorithms::{s_base, s_hop, t_base, t_hop, RefillMode};
+use crate::algorithms::{s_band, s_base, s_hop, sband_fallback_reason, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::engine::{Algorithm, DurableTopKEngine};
 use crate::error::{BuildError, QueryError};
@@ -79,14 +79,22 @@ struct Head {
 }
 
 impl Head {
-    /// An empty head whose first owned record will be global id `at`.
-    fn empty(dim: usize, leaf_size: usize, merge_cap: usize, at: usize) -> Self {
-        Self {
-            ds: Dataset::new(dim),
-            index: AppendableTopKIndex::new(leaf_size).with_merge_limit(merge_cap),
-            ext_lo: at as Time,
-            lo: at as Time,
+    /// An empty head whose first owned record will be global id `at`; with
+    /// a skyband bound, the head forest maintains the durable k-skyband
+    /// incrementally so S-Band serves natively from the first append.
+    fn empty(
+        dim: usize,
+        leaf_size: usize,
+        merge_cap: usize,
+        at: usize,
+        k_max: Option<usize>,
+    ) -> Self {
+        let ds = Dataset::new(dim);
+        let mut index = AppendableTopKIndex::new(leaf_size).with_merge_limit(merge_cap);
+        if let Some(k_max) = k_max {
+            index = index.with_skyband_bound(&ds, k_max);
         }
+        Self { ds, index, ext_lo: at as Time, lo: at as Time }
     }
 }
 
@@ -148,7 +156,14 @@ fn run_seal(snap: &HeadSnapshot) -> Shard {
     let tree = snap.index.seal_ref(&snap.ds);
     let mut engine = DurableTopKEngine::from_parts(snap.ds.clone(), SegTreeOracle::from_tree(tree))
         .expect("a sealed head always owns records");
-    if let Some(k_max) = snap.k_max {
+    if let Some(skyband) = snap.index.sealed_skyband() {
+        // The head maintained its skyband incrementally; freezing the
+        // known durations skips the O(n · scan) recompute a from-scratch
+        // build pays.
+        engine = engine.with_prebuilt_skyband(skyband);
+    } else if let Some(k_max) = snap.k_max {
+        // Bound set after this head already had records without an
+        // attached maintainer (legacy path): build statically.
         engine = engine.with_skyband_index(k_max);
     }
     Shard { engine, ext_lo: snap.ext_lo, lo: snap.lo, hi: snap.hi }
@@ -250,7 +265,7 @@ impl ShardedEngine {
         Ok(Self {
             tails: Vec::new(),
             pending: Vec::new(),
-            head: Head::empty(dim, leaf_size, merge_cap_for(shard_span), 0),
+            head: Head::empty(dim, leaf_size, merge_cap_for(shard_span), 0, None),
             shard_span,
             max_tau,
             len: 0,
@@ -262,11 +277,15 @@ impl ShardedEngine {
         })
     }
 
-    /// Requests a durable k-skyband index (enabling [`Algorithm::SBand`]
-    /// without fallback) on every shard sealed from now on, for
-    /// `k <= k_max`.
+    /// Requests durable k-skyband maintenance (serving [`Algorithm::SBand`]
+    /// natively, without fallback) for `k <= k_max`: the mutable head —
+    /// including any records it already holds — gains an incrementally
+    /// maintained skyband candidate set, and every shard sealed from now
+    /// on freezes those durations into its static index.
     pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
         self.k_max = Some(k_max);
+        let index = std::mem::replace(&mut self.head.index, AppendableTopKIndex::new(1));
+        self.head.index = index.with_skyband_bound(&self.head.ds, k_max);
         self
     }
 
@@ -354,7 +373,7 @@ impl ShardedEngine {
         let mut engine = Self {
             tails,
             pending: Vec::new(),
-            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, merge_cap_for(per_shard), n),
+            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, merge_cap_for(per_shard), n, k_max),
             shard_span: per_shard,
             max_tau,
             len: n,
@@ -386,8 +405,11 @@ impl ShardedEngine {
         for i in (n - ctx_len)..n {
             ds.push(row(i));
         }
-        let index =
+        let mut index =
             AppendableTopKIndex::build(&ds, self.leaf_size).with_merge_limit(self.merge_cap());
+        if let Some(k_max) = self.k_max {
+            index = index.with_skyband_bound(&ds, k_max);
+        }
         Head { ds, index, ext_lo: (n - ctx_len) as Time, lo: n as Time }
     }
 
@@ -434,7 +456,13 @@ impl ShardedEngine {
         let hi = (self.len - 1) as Time;
         let head = std::mem::replace(
             &mut self.head,
-            Head::empty(self.dim, self.leaf_size, merge_cap_for(self.shard_span), self.len),
+            Head::empty(
+                self.dim,
+                self.leaf_size,
+                merge_cap_for(self.shard_span),
+                self.len,
+                self.k_max,
+            ),
         );
         let snap = Arc::new(HeadSnapshot {
             ds: head.ds,
@@ -573,9 +601,14 @@ impl ShardedEngine {
     /// answers. Identical to [`DurableTopKEngine::query`] over the same
     /// history for `τ ≤ max_tau`.
     ///
-    /// On the mutable head (and on snapshots whose background seal is
-    /// still in flight), [`Algorithm::SBand`] is served by S-Hop with
-    /// [`QueryStats::fallback`] set (forests carry no skyband index).
+    /// With a skyband bound configured
+    /// ([`with_skyband_bound`](ShardedEngine::with_skyband_bound) /
+    /// [`build_with_skyband`](ShardedEngine::build_with_skyband)),
+    /// [`Algorithm::SBand`] runs natively everywhere — sealed tails,
+    /// snapshots whose background seal is still in flight, and the mutable
+    /// head (whose forest maintains its k-skyband incrementally) — so
+    /// [`QueryStats::fallback`] stays `None` at every point of the
+    /// ingestion timeline for `k` within the bound.
     ///
     /// # Panics
     /// Panics on invalid parameters or if `query.tau > self.max_tau()` (the
@@ -787,12 +820,23 @@ fn query_forest<S: OracleScorer + ?Sized>(
         Algorithm::SHop => s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx),
         Algorithm::SHopTop1 => s_hop(ds, &oracle, scorer, local, RefillMode::Top1, ctx),
         Algorithm::SBand => {
-            // Forests carry no skyband index; serve with S-Hop and flag
-            // the substitution, mirroring DurableTopKEngine's graceful
-            // degradation.
-            let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
-            result.stats.fallback = true;
-            result
+            // The forest's incrementally-maintained skyband serves S-Band
+            // natively at every point of the append timeline; S-Hop only
+            // substitutes for the same request-level reasons the sealed
+            // engine degrades on (shared derivation, so both substrates
+            // classify identically).
+            let reason = sband_fallback_reason(index.skyband(), scorer, local.k);
+            match reason {
+                None => {
+                    let sb = index.skyband().expect("reason checked Some");
+                    s_band(ds, &oracle, sb, scorer, local, ctx)
+                }
+                Some(reason) => {
+                    let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
+                    result.stats.fallback = Some(reason);
+                    result
+                }
+            }
         }
     }
 }
@@ -848,7 +892,7 @@ mod tests {
         let q = DurableQuery { k: 5, tau: 90, interval: Window::new(0, 1_199) };
         let got = sharded.query(Algorithm::SBand, &scorer, &q);
         assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
-        assert!(!got.stats.fallback, "within the build bound no shard falls back");
+        assert!(got.stats.fallback.is_none(), "within the build bound no shard falls back");
     }
 
     #[test]
@@ -1077,23 +1121,56 @@ mod tests {
     }
 
     #[test]
-    fn live_skyband_bound_serves_sealed_shards_without_fallback() {
+    fn live_skyband_bound_serves_every_substrate_without_fallback() {
         let ds = dataset(256);
         let scorer = LinearScorer::new(vec![0.8, 0.2]);
         let mut live = ShardedEngine::new_live(2, 64, 30).with_skyband_bound(4);
+        let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 255) };
         for id in 0..256u32 {
             live.append(ds.row(id));
         }
         assert_eq!(live.sealed_shards(), 4);
         assert_eq!(live.shard_count(), 4, "no owned head records after an exact multiple");
-        // In-flight seals serve S-Band via the flagged S-Hop substitute;
-        // once integrated, every shard carries the skyband index.
-        live.quiesce();
-        let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 255) };
+        let flat = DurableTopKEngine::new(ds.clone()).with_skyband_index(4);
+        // Snapshots whose background seal is still in flight serve S-Band
+        // natively through their forest's incremental skyband — no
+        // quiesce needed for a fallback-free answer.
         let got = live.query(Algorithm::SBand, &scorer, &q);
-        assert!(!got.stats.fallback, "sealed shards carry the skyband index");
-        let flat = DurableTopKEngine::new(ds).with_skyband_index(4);
+        assert!(got.stats.fallback.is_none(), "in-flight seals serve S-Band natively");
         assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
+        // Once integrated, the sealed shards carry the frozen skyband.
+        live.quiesce();
+        let got = live.query(Algorithm::SBand, &scorer, &q);
+        assert!(got.stats.fallback.is_none(), "sealed shards carry the skyband index");
+        assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
+    }
+
+    #[test]
+    fn grown_head_serves_sband_natively_at_every_prefix() {
+        // Span larger than the run: every record stays in the mutable
+        // head, the regime the S-Hop fallback used to own.
+        let ds = dataset(120);
+        let scorer = LinearScorer::new(vec![0.35, 0.65]);
+        let mut live = ShardedEngine::new_live(2, 1_000, 25).with_skyband_bound(4);
+        let flat_ref = |n: usize| DurableTopKEngine::new(dataset(n)).with_skyband_index(4);
+        for id in 0..120u32 {
+            live.append(ds.row(id));
+            if id % 17 == 3 {
+                let q = DurableQuery { k: 3, tau: 12, interval: Window::new(0, id) };
+                let got = live.query(Algorithm::SBand, &scorer, &q);
+                assert!(
+                    got.stats.fallback.is_none(),
+                    "head must serve S-Band natively at prefix {}",
+                    id + 1
+                );
+                let flat = flat_ref(id as usize + 1);
+                assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
+            }
+        }
+        // Out-of-bound k still degrades gracefully, with the right reason.
+        let q = DurableQuery { k: 9, tau: 12, interval: Window::new(0, 119) };
+        let got = live.query(Algorithm::SBand, &scorer, &q);
+        assert_eq!(got.stats.fallback, Some(crate::FallbackReason::SkybandBoundExceeded));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::algorithms::{s_hop, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::engine::Algorithm;
 use crate::oracle::TopKOracle;
-use crate::query::{DurableQuery, QueryResult};
+use crate::query::{DurableQuery, FallbackReason, QueryResult};
 use crate::sharded::ShardedEngine;
 use durable_topk_index::{OracleScorer, OracleScratch, TopKResult};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
@@ -191,9 +191,12 @@ impl StreamingMonitor {
     /// shards (exact, parallel). Beyond that bound the shard overlap
     /// cannot localize durability windows, so the monitor runs the same
     /// algorithm on the ingesting thread with the sharded top-k building
-    /// block as its oracle (exact for *any* window) and sets
-    /// [`QueryStats::fallback`](crate::QueryStats) — still exact and still
-    /// index-accelerated, just without the per-shard fan-out.
+    /// block as its oracle (exact for *any* window) and flags the
+    /// substitution as [`FallbackReason::TauBeyondOverlap`] — the
+    /// *expected* overlap miss, still exact and still index-accelerated,
+    /// just without the per-shard fan-out. The reason keeps it
+    /// distinguishable from a genuinely missing index in regression
+    /// gates.
     pub fn query<S: OracleScorer + Sync + ?Sized>(
         &self,
         scorer: &S,
@@ -214,7 +217,7 @@ impl StreamingMonitor {
         } else {
             t_hop(&self.ds, &oracle, scorer, query, &mut ctx)
         };
-        result.stats.fallback = true;
+        result.stats.fallback = Some(FallbackReason::TauBeyondOverlap);
         result
     }
 
@@ -301,7 +304,7 @@ mod tests {
         let reference = engine.query(Algorithm::TBase, &scorer, &q);
         assert_eq!(via_engine.records, reference.records);
         assert_eq!(via_engine_shop.records, reference.records);
-        assert!(!via_engine.stats.fallback, "tau within the bound needs no fallback");
+        assert!(via_engine.stats.fallback.is_none(), "tau within the bound needs no fallback");
     }
 
     #[test]
@@ -313,7 +316,12 @@ mod tests {
         }
         let q = DurableQuery { k: 2, tau: 50, interval: Window::new(0, 119) };
         let got = monitor.query(&scorer, &q, false);
-        assert!(got.stats.fallback, "tau 50 > max_tau 16 must be flagged");
+        assert_eq!(
+            got.stats.fallback,
+            Some(FallbackReason::TauBeyondOverlap),
+            "tau 50 > max_tau 16 must be flagged as the expected overlap miss"
+        );
+        assert!(got.stats.fallback.expect("set").is_expected());
         let engine = DurableTopKEngine::new(monitor.dataset().clone());
         assert_eq!(got.records, engine.query(Algorithm::THop, &scorer, &q).records);
         let shop = monitor.query(&scorer, &q, true);

@@ -26,5 +26,8 @@ pub mod skyline;
 pub use domcount::{past_dominator_counts, Fenwick};
 pub use dominance::{dominates, weakly_dominates};
 pub use pst::{PrioritySearchTree, PstPoint};
-pub use skyband::{k_skyband, skyband_durations, skyband_durations_multi, DURATION_UNBOUNDED};
+pub use skyband::{
+    k_skyband, level_ks, skyband_durations, skyband_durations_multi, SkybandMaintainer,
+    DURATION_UNBOUNDED,
+};
 pub use skyline::{skyline_indices, skyline_merge};

@@ -1,6 +1,6 @@
 //! An appendable top-k index for streaming arrivals.
 //!
-//! The static [`SkylineSegTree`](crate::SkylineSegTree) is built once over a
+//! The static [`SkylineSegTree`] is built once over a
 //! dataset; instant-stamped data, however, keeps arriving. This module
 //! provides the classical logarithmic method: maintain a forest of segment
 //! trees over consecutive arrival ranges whose sizes follow a binary
@@ -13,6 +13,7 @@
 //! polylogarithmic time" for the append-heavy temporal setting.
 
 use crate::segtree::{OracleScorer, OracleScratch, QueryCounters, SkylineSegTree, TopKResult};
+use crate::skyband_index::{DurableSkybandIndex, IncrementalSkybandIndex};
 use durable_topk_temporal::{Dataset, Time, Window};
 
 /// A forest of skyline segment trees supporting appends.
@@ -24,6 +25,10 @@ pub struct AppendableTopKIndex {
     /// Largest tree the binary-counter cascade may produce; `None` keeps
     /// the classical unbounded counter.
     merge_limit: Option<usize>,
+    /// Incrementally-maintained durable k-skyband candidates whose search
+    /// blocks shadow the forest trees — enables native S-Band over a
+    /// still-growing head shard.
+    skyband: Option<IncrementalSkybandIndex>,
     counters: QueryCounters,
 }
 
@@ -39,6 +44,7 @@ impl AppendableTopKIndex {
             n: 0,
             leaf_size,
             merge_limit: None,
+            skyband: None,
             counters: QueryCounters::default(),
         }
     }
@@ -61,6 +67,44 @@ impl AppendableTopKIndex {
         assert!(limit > 0, "merge limit must be positive");
         self.merge_limit = Some(limit);
         self
+    }
+
+    /// Attaches an incrementally-maintained durable k-skyband index
+    /// serving `k <= k_max` (rounded up to a power of two), so
+    /// `Algorithm::SBand` runs natively over the forest at every point of
+    /// the append timeline. `ds` must be the dataset this index already
+    /// covers (it seeds durations for records indexed before the call);
+    /// later [`append`](AppendableTopKIndex::append)s keep the skyband in
+    /// step automatically.
+    ///
+    /// # Panics
+    /// Panics if `k_max == 0` or `ds.len() != self.len()`.
+    pub fn with_skyband_bound(mut self, ds: &Dataset, k_max: usize) -> Self {
+        assert_eq!(
+            ds.len(),
+            self.n,
+            "skyband bound must be attached over the dataset this index covers"
+        );
+        let mut skyband = IncrementalSkybandIndex::build(ds, k_max);
+        skyband.sync(self.trees.iter().map(SkylineSegTree::coverage));
+        self.skyband = Some(skyband);
+        self
+    }
+
+    /// The incremental skyband candidate index, when one was attached.
+    pub fn skyband(&self) -> Option<&IncrementalSkybandIndex> {
+        self.skyband.as_ref()
+    }
+
+    /// Freezes the maintained skyband durations into the static index a
+    /// sealed shard serves — the skyband half of
+    /// [`seal`](AppendableTopKIndex::seal), reusing every duration the
+    /// maintainer already computed instead of rescanning the history.
+    ///
+    /// Returns `None` when no skyband bound was attached or the index is
+    /// empty.
+    pub fn sealed_skyband(&self) -> Option<DurableSkybandIndex> {
+        self.skyband.as_ref().filter(|sb| !sb.is_empty()).map(IncrementalSkybandIndex::to_static)
     }
 
     /// Builds the index over an existing dataset (one tree), ready for
@@ -123,6 +167,13 @@ impl AppendableTopKIndex {
                 last.end(),
                 self.leaf_size,
             ));
+        }
+        // The skyband rides the same cascade: ingest the newcomer's
+        // durations, then realign the search blocks to the (suffix of)
+        // trees the counter just rebuilt.
+        if let Some(skyband) = self.skyband.as_mut() {
+            skyband.push(ds);
+            skyband.sync(self.trees.iter().map(SkylineSegTree::coverage));
         }
     }
 
@@ -327,6 +378,50 @@ mod tests {
             let w = Window::new(5, 30);
             assert_eq!(sealed.top_k(&ds, &scorer, k, w), scan_top_k(&ds, &scorer, k, w));
         }
+    }
+
+    #[test]
+    fn skyband_rides_the_merge_cascade() {
+        use crate::skyband_index::{DurableSkybandIndex, SkybandCandidates};
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut ds = Dataset::new(2);
+        let mut idx = AppendableTopKIndex::new(4).with_merge_limit(16).with_skyband_bound(&ds, 6);
+        for step in 0..180usize {
+            ds.push(&[rng.random_range(0..14) as f64, rng.random_range(0..14) as f64]);
+            idx.append(&ds);
+            if step % 19 == 3 {
+                let stat = DurableSkybandIndex::build(&ds, 6);
+                let sb = idx.skyband().expect("attached");
+                let n = ds.len() as Time;
+                for (k, tau) in [(1usize, 2u32), (3, 9), (6, 40)] {
+                    let w = Window::new(n / 3, n - 1);
+                    let (mut got, gl) = sb.candidates(w, tau, k);
+                    let (mut want, wl) = stat.candidates(w, tau, k);
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!((got, gl), (want, wl), "step={step} k={k} tau={tau}");
+                }
+            }
+        }
+        // The sealed skyband equals a from-scratch static build.
+        let sealed = idx.sealed_skyband().expect("attached and non-empty");
+        let stat = DurableSkybandIndex::build(&ds, 6);
+        let w = Window::new(20, 170);
+        let (mut a, _) = sealed.candidates(w, 12, 4);
+        let (mut b, _) = stat.candidates(w, 12, 4);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skyband_attaches_over_existing_history() {
+        let ds = Dataset::from_rows(2, (0..40).map(|i| [((i * 7) % 13) as f64, (i % 5) as f64]));
+        let mut full = ds.clone();
+        let mut idx = AppendableTopKIndex::build(&ds, 4).with_skyband_bound(&ds, 3);
+        full.push(&[11.0, 4.0]);
+        idx.append(&full);
+        assert_eq!(idx.skyband().expect("attached").len(), 41);
     }
 
     #[test]

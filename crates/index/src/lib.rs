@@ -34,5 +34,5 @@ pub use segtree::{
     scan_top_k, scan_top_k_into, NodeSummary, OracleScorer, OracleScratch, OrdF64, QueryCounters,
     SkylineSegTree, TopKResult, DEFAULT_LEAF_SIZE,
 };
-pub use skyband_index::DurableSkybandIndex;
+pub use skyband_index::{DurableSkybandIndex, IncrementalSkybandIndex, SkybandCandidates};
 pub use sliding::SkybandBuffer;

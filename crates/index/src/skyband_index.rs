@@ -11,8 +11,38 @@
 //! smallest level `k̄ >= k`, whose candidate set is a superset of the answer
 //! (`S ⊆ C`), at the cost of at most doubling the effective `k`.
 
-use durable_topk_geom::{skyband_durations_multi, PrioritySearchTree, PstPoint};
+use durable_topk_geom::{
+    level_ks, skyband_durations_multi, PrioritySearchTree, PstPoint, SkybandMaintainer,
+};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
+
+/// A source of S-Band candidate supersets: anything that can answer the
+/// 3-sided query "records arriving in `I` whose k̄-skyband duration is at
+/// least `τ`". Implemented by the static [`DurableSkybandIndex`] (sealed
+/// shards) and the [`IncrementalSkybandIndex`] riding the appendable
+/// forest (the mutable head shard), so the S-Band algorithm runs
+/// unchanged over both.
+pub trait SkybandCandidates {
+    /// The largest `k` the candidate source can serve.
+    fn max_k(&self) -> usize;
+
+    /// The level (`k̄`) that will serve a query with parameter `k`, if any.
+    fn level_for(&self, k: usize) -> Option<usize>;
+
+    /// Retrieves the candidate superset `C` for `DurTop(k, I, τ)` and the
+    /// level `k̄` used; ids are unsorted.
+    fn candidates(&self, interval: Window, tau: Time, k: usize) -> (Vec<RecordId>, usize);
+}
+
+/// Builds one level's priority search tree from its duration vector.
+fn level_pst(durs: Vec<u32>) -> PrioritySearchTree {
+    let points = durs
+        .into_iter()
+        .enumerate()
+        .map(|(id, tau)| PstPoint { x: id as u32, y: tau, id: id as u32 })
+        .collect();
+    PrioritySearchTree::build(points)
+}
 
 /// The durable k-skyband index: one priority search tree per k level.
 #[derive(Debug, Clone)]
@@ -28,25 +58,31 @@ impl DurableSkybandIndex {
     /// Panics if the dataset is empty or `k_max == 0`.
     pub fn build(ds: &Dataset, k_max: usize) -> Self {
         assert!(!ds.is_empty(), "cannot index an empty dataset");
-        assert!(k_max > 0, "k_max must be positive");
-        let mut ks = vec![1usize];
-        while *ks.last().expect("non-empty") < k_max {
-            ks.push(ks.last().expect("non-empty") * 2);
-        }
+        let ks = level_ks(k_max);
         let durations = skyband_durations_multi(ds, &ks);
-        let levels = ks
-            .into_iter()
-            .zip(durations)
-            .map(|(k, durs)| {
-                let points = durs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(id, tau)| PstPoint { x: id as u32, y: tau, id: id as u32 })
-                    .collect();
-                (k, PrioritySearchTree::build(points))
-            })
-            .collect();
+        let levels = ks.into_iter().zip(durations).map(|(k, durs)| (k, level_pst(durs))).collect();
         Self { levels }
+    }
+
+    /// Assembles the index from already-computed per-level durations —
+    /// the shard-sealing path, where the head's incremental maintainer
+    /// already knows every record's duration and only the search trees
+    /// need building (an `O(n log n)` restructure instead of the
+    /// `O(n · scan)` duration recompute).
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty, its `k` values are not strictly
+    /// ascending, or the duration vectors are empty or unequal in length.
+    pub fn from_durations(levels: Vec<(usize, Vec<u32>)>) -> Self {
+        assert!(!levels.is_empty(), "at least one level required");
+        assert!(
+            levels.windows(2).all(|w| w[0].0 < w[1].0),
+            "levels must be strictly ascending in k"
+        );
+        let n = levels[0].1.len();
+        assert!(n > 0, "cannot index an empty dataset");
+        assert!(levels.iter().all(|(_, d)| d.len() == n), "level lengths must agree");
+        Self { levels: levels.into_iter().map(|(k, durs)| (k, level_pst(durs))).collect() }
     }
 
     /// The largest `k` the index can serve.
@@ -86,6 +122,182 @@ impl DurableSkybandIndex {
     /// Total candidate count for instrumentation without materializing ids.
     pub fn candidate_count(&self, interval: Window, tau: Time, k: usize) -> usize {
         self.candidates(interval, tau, k).0.len()
+    }
+}
+
+impl SkybandCandidates for DurableSkybandIndex {
+    fn max_k(&self) -> usize {
+        DurableSkybandIndex::max_k(self)
+    }
+
+    fn level_for(&self, k: usize) -> Option<usize> {
+        DurableSkybandIndex::level_for(self, k)
+    }
+
+    fn candidates(&self, interval: Window, tau: Time, k: usize) -> (Vec<RecordId>, usize) {
+        DurableSkybandIndex::candidates(self, interval, tau, k)
+    }
+}
+
+/// One contiguous run of records whose per-level search trees mirror a
+/// segment tree of the appendable forest.
+#[derive(Debug, Clone)]
+struct SkybandBlock {
+    /// Record-id range `[lo, hi]` this block covers — always equal to the
+    /// coverage of the forest tree it shadows.
+    range: Window,
+    /// One priority search tree per maintained level, same order as
+    /// [`SkybandMaintainer::levels`].
+    levels: Vec<PrioritySearchTree>,
+}
+
+impl SkybandBlock {
+    fn build(range: Window, maintainer: &SkybandMaintainer) -> Self {
+        let levels = (0..maintainer.levels().len())
+            .map(|level| {
+                let durs = maintainer.durations(level);
+                let points =
+                    range.iter().map(|id| PstPoint { x: id, y: durs[id as usize], id }).collect();
+                PrioritySearchTree::build(points)
+            })
+            .collect();
+        Self { range, levels }
+    }
+}
+
+/// An appendable durable k-skyband index for the mutable head shard.
+///
+/// Two halves, mirroring the split between data and search structure:
+///
+/// * a [`SkybandMaintainer`] computes every arriving record's skyband
+///   duration once, incrementally (durations are append-stable — they
+///   only look backwards — so no insertion ever revisits old records);
+/// * a list of skyband blocks partitions the covered ids into
+///   contiguous runs of per-level priority search trees, *riding the
+///   forest's merge cascade*: [`sync`](IncrementalSkybandIndex::sync)
+///   realigns the blocks to the forest's tree coverages after each
+///   append, rebuilding only the suffix the binary counter touched.
+///   Because the forest caps its merges (`span/4` in the sharded
+///   engine), block rebuilds inherit the same bound, keeping the worst
+///   single append polylogarithmic-amortized with an `O(cap · log)`
+///   ceiling.
+///
+/// Candidate retrieval fans the 3-sided query over the blocks
+/// intersecting `I` — identical semantics to the static index, so
+/// [`SkybandCandidates`] serves S-Band over either without the algorithm
+/// noticing.
+#[derive(Debug, Clone)]
+pub struct IncrementalSkybandIndex {
+    maintainer: SkybandMaintainer,
+    blocks: Vec<SkybandBlock>,
+}
+
+impl IncrementalSkybandIndex {
+    /// An empty incremental index serving `k <= k_max` (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    /// Panics if `k_max == 0`.
+    pub fn new(k_max: usize) -> Self {
+        Self { maintainer: SkybandMaintainer::new(k_max), blocks: Vec::new() }
+    }
+
+    /// Bootstraps the maintainer over existing history; call
+    /// [`sync`](IncrementalSkybandIndex::sync) afterwards to align the
+    /// blocks with the owning forest.
+    pub fn build(ds: &Dataset, k_max: usize) -> Self {
+        Self { maintainer: SkybandMaintainer::build(ds, k_max), blocks: Vec::new() }
+    }
+
+    /// Records covered.
+    pub fn len(&self) -> usize {
+        self.maintainer.len()
+    }
+
+    /// Whether no record is covered.
+    pub fn is_empty(&self) -> bool {
+        self.maintainer.is_empty()
+    }
+
+    /// The duration maintainer (instrumentation, seal hand-off).
+    pub fn maintainer(&self) -> &SkybandMaintainer {
+        &self.maintainer
+    }
+
+    /// Ingests the most recently appended record of `ds` (durations only;
+    /// follow with [`sync`](IncrementalSkybandIndex::sync) to realign the
+    /// search blocks).
+    pub fn push(&mut self, ds: &Dataset) {
+        self.maintainer.append(ds);
+    }
+
+    /// Realigns the search blocks to the given forest tree coverages,
+    /// reusing every block whose range is unchanged (the merge cascade
+    /// only ever touches a suffix) and rebuilding the rest from the
+    /// maintained durations.
+    pub fn sync<I: Iterator<Item = Window>>(&mut self, coverages: I) {
+        let coverages: Vec<Window> = coverages.collect();
+        let mut common = 0usize;
+        while common < self.blocks.len()
+            && common < coverages.len()
+            && self.blocks[common].range == coverages[common]
+        {
+            common += 1;
+        }
+        self.blocks.truncate(common);
+        for &range in &coverages[common..] {
+            self.blocks.push(SkybandBlock::build(range, &self.maintainer));
+        }
+    }
+
+    /// Freezes the maintained durations into a static
+    /// [`DurableSkybandIndex`] — the seal path: one balanced search tree
+    /// per level over the whole coverage, durations reused verbatim.
+    ///
+    /// # Panics
+    /// Panics if the index is empty.
+    pub fn to_static(&self) -> DurableSkybandIndex {
+        assert!(!self.is_empty(), "cannot seal an empty skyband index");
+        let levels = self
+            .maintainer
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, self.maintainer.durations(i).to_vec()))
+            .collect();
+        DurableSkybandIndex::from_durations(levels)
+    }
+}
+
+impl SkybandCandidates for IncrementalSkybandIndex {
+    fn max_k(&self) -> usize {
+        self.maintainer.k_max()
+    }
+
+    fn level_for(&self, k: usize) -> Option<usize> {
+        self.maintainer.levels().iter().copied().find(|&lk| lk >= k)
+    }
+
+    fn candidates(&self, interval: Window, tau: Time, k: usize) -> (Vec<RecordId>, usize) {
+        assert!(k >= 1, "k must be positive");
+        let k_bar = self
+            .level_for(k)
+            .unwrap_or_else(|| panic!("index built for k <= {}, got {k}", self.max_k()));
+        let level = self
+            .maintainer
+            .levels()
+            .iter()
+            .position(|&lk| lk == k_bar)
+            .expect("level_for returned an existing level");
+        let mut ids = Vec::new();
+        for block in &self.blocks {
+            if let Some(piece) = block.range.intersect(interval) {
+                for p in block.levels[level].query(piece.start(), piece.end(), tau) {
+                    ids.push(p.id);
+                }
+            }
+        }
+        (ids, k_bar)
     }
 }
 
@@ -146,5 +358,107 @@ mod tests {
         let ds = Dataset::from_rows(2, [[1.0, 1.0], [2.0, 2.0]]);
         let idx = DurableSkybandIndex::build(&ds, 2);
         idx.candidates(Window::new(0, 1), 1, 50);
+    }
+
+    #[test]
+    fn from_durations_equals_build() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let rows: Vec<[f64; 2]> = (0..120)
+            .map(|_| [rng.random_range(0..12) as f64, rng.random_range(0..12) as f64])
+            .collect();
+        let ds = Dataset::from_rows(2, rows);
+        let built = DurableSkybandIndex::build(&ds, 4);
+        let ks = durable_topk_geom::level_ks(4);
+        let durs = durable_topk_geom::skyband_durations_multi(&ds, &ks);
+        let assembled = DurableSkybandIndex::from_durations(ks.into_iter().zip(durs).collect());
+        for k in [1usize, 2, 4] {
+            for tau in [1u32, 7, 40] {
+                let w = Window::new(15, 100);
+                let (mut a, la) = built.candidates(w, tau, k);
+                let (mut b, lb) = assembled.candidates(w, tau, k);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!((a, la), (b, lb), "k={k} tau={tau}");
+            }
+        }
+    }
+
+    /// The incremental index under appends, blocks synced to an evolving
+    /// binary-counter-style partition, must report exactly the static
+    /// index's candidates at every prefix.
+    #[test]
+    fn incremental_candidates_match_static_at_every_prefix() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let rows: Vec<[f64; 2]> = (0..140)
+            .map(|_| [rng.random_range(0..10) as f64, rng.random_range(0..10) as f64])
+            .collect();
+        let full = Dataset::from_rows(2, rows);
+        let mut ds = Dataset::new(2);
+        let mut inc = IncrementalSkybandIndex::new(5);
+        for i in 0..full.len() {
+            ds.push(full.row(i as RecordId));
+            inc.push(&ds);
+            // A deliberately uneven partition that changes shape as it
+            // grows: blocks of 8 plus a remainder, mimicking forest
+            // coverages after a capped merge cascade.
+            let n = ds.len() as u32;
+            let mut coverages = Vec::new();
+            let mut lo = 0u32;
+            while lo < n {
+                let hi = (lo + 7).min(n - 1);
+                coverages.push(Window::new(lo, hi));
+                lo = hi + 1;
+            }
+            inc.sync(coverages.into_iter());
+            if i % 13 == 5 {
+                let stat = DurableSkybandIndex::build(&ds, 5);
+                assert_eq!(SkybandCandidates::max_k(&inc), stat.max_k());
+                for k in [1usize, 2, 5, 8] {
+                    for tau in [1u32, 4, 30] {
+                        let w = Window::new((n / 4).min(n - 1), n - 1);
+                        let (mut a, la) = inc.candidates(w, tau, k);
+                        let (mut b, lb) = stat.candidates(w, tau, k);
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        assert_eq!((a, la), (b, lb), "prefix={} k={k} tau={tau}", i + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_seals_into_the_static_shape() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let rows: Vec<[f64; 3]> = (0..90)
+            .map(|_| {
+                [
+                    rng.random_range(0..6) as f64,
+                    rng.random_range(0..6) as f64,
+                    rng.random_range(0..6) as f64,
+                ]
+            })
+            .collect();
+        let ds = Dataset::from_rows(3, rows);
+        let mut inc = IncrementalSkybandIndex::build(&ds, 3);
+        inc.sync(std::iter::once(Window::new(0, 89)));
+        let sealed = inc.to_static();
+        let stat = DurableSkybandIndex::build(&ds, 3);
+        for k in [1usize, 3, 4] {
+            for tau in [2u32, 11, 60] {
+                let w = Window::new(10, 80);
+                let (mut a, la) = sealed.candidates(w, tau, k);
+                let (mut b, lb) = stat.candidates(w, tau, k);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!((a, la), (b, lb), "k={k} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seal an empty skyband index")]
+    fn sealing_an_empty_incremental_index_is_rejected() {
+        IncrementalSkybandIndex::new(2).to_static();
     }
 }

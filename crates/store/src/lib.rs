@@ -7,7 +7,7 @@
 //! measure without requiring a PostgreSQL installation:
 //!
 //! * [`pager`] — 8 KiB pages in a single file behind an LRU
-//!   [`BufferPool`](pager::BufferPool) with hit/miss/physical-I/O
+//!   [`pager::BufferPool`] with hit/miss/physical-I/O
 //!   accounting;
 //! * [`table`] — a fixed-width row table over the data region (row id =
 //!   arrival instant, so time-window scans are sequential page reads);

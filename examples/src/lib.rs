@@ -1,1 +1,1 @@
-//! Example binaries live at the crate root; see Cargo.toml [[bin]] entries.
+//! Example binaries live at the crate root; see the `[[bin]]` entries in Cargo.toml.

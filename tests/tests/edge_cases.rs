@@ -107,7 +107,11 @@ fn sband_with_cosine_falls_back_to_shop() {
     let scorer = CosineScorer::new(vec![1.0, 1.0]);
     let q = DurableQuery { k: 1, tau: 2, interval: Window::new(0, 3) };
     let got = engine.query(Algorithm::SBand, &scorer, &q);
-    assert!(got.stats.fallback, "non-monotone scorer must be served via fallback");
+    assert_eq!(
+        got.stats.fallback,
+        Some(durable_topk::FallbackReason::NonMonotoneScorer),
+        "non-monotone scorer must be served via fallback"
+    );
     assert_eq!(got.records, engine.query(Algorithm::SHop, &scorer, &q).records);
 }
 

@@ -38,6 +38,23 @@ fn rows_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     })
 }
 
+/// Definition-level durability over the first `upto + 1` records: `p` is
+/// reported iff fewer than `k` records in its look-back window beat its
+/// score.
+fn brute_durable(ds: &Dataset, scorer: &LinearScorer, q: &DurableQuery, upto: u32) -> Vec<u32> {
+    use durable_topk::Scorer;
+    let interval = Window::new(q.interval.start(), q.interval.end().min(upto));
+    interval
+        .iter()
+        .filter(|&t| {
+            let lo = t.saturating_sub(q.tau);
+            let my = scorer.score(ds.row(t));
+            let better = (lo..t).filter(|&u| scorer.score(ds.row(u)) > my).count();
+            better < q.k
+        })
+        .collect()
+}
+
 /// Materializes a spec against `n` ingested records, capping `τ` at the
 /// engine's exactness bound.
 fn materialize(spec: &QuerySpec, n: u32, max_tau: u32) -> (Algorithm, DurableQuery) {
@@ -94,6 +111,63 @@ proptest! {
             let unsharded = flat.query(alg, &scorer, &q);
             prop_assert_eq!(&grown.records, &scratch_built.records, "alg={} q={:?}", alg, q);
             prop_assert_eq!(&grown.records, &unsharded.records, "alg={} q={:?}", alg, q);
+        }
+    }
+
+    /// The tentpole gate for head-shard S-Band: an engine grown by appends
+    /// with a skyband bound serves `Algorithm::SBand` *natively* — exact
+    /// against the definition-level brute force and against a
+    /// rebuilt-from-scratch `build_with_skyband` engine, with
+    /// `QueryStats::fallback == None`, at **every** prefix of the
+    /// ingestion timeline, across at least two seal boundaries.
+    #[test]
+    fn grown_head_sband_is_native_and_exact_at_every_prefix(
+        rows in rows_strategy(60),
+        k_max in 1usize..6,
+        max_tau in 1u32..16,
+        seed in 0u32..10_000,
+    ) {
+        let ds = Dataset::from_rows(2, rows);
+        let n = ds.len();
+        // Two full seals fit in the run, so head, in-flight snapshot and
+        // sealed tails are all exercised mid-stream.
+        let span = (n / 3).max(1);
+        let scorer = LinearScorer::new(vec![0.55, 0.45]);
+        let mut live = ShardedEngine::new_live(2, span, max_tau).with_skyband_bound(k_max);
+        for id in 0..n {
+            live.append(ds.row(id as u32));
+            let upto = id as u32;
+            let k = 1 + (id + seed as usize) % k_max;
+            let tau = 1 + (seed + upto) % max_tau;
+            let q = DurableQuery { k, tau, interval: Window::new(0, upto) };
+            let got = live.query(Algorithm::SBand, &scorer, &q);
+            prop_assert_eq!(
+                got.stats.fallback, None,
+                "S-Band fell back at prefix {} (q={:?})", id + 1, q
+            );
+            let expected = brute_durable(&ds, &scorer, &q, upto);
+            prop_assert_eq!(
+                &got.records, &expected,
+                "S-Band diverged from brute force at prefix {} (q={:?})", id + 1, q
+            );
+        }
+        prop_assert!(live.sealed_shards() >= 2, "the run must cross two seal boundaries");
+
+        // Final state: grown engine vs a from-scratch skyband build.
+        let rebuilt =
+            ShardedEngine::build_with_skyband(&ds, n.div_ceil(span), max_tau, k_max)
+                .expect("build");
+        for k in 1..=k_max {
+            let q = DurableQuery {
+                k,
+                tau: 1 + (seed + k as u32) % max_tau,
+                interval: Window::new(0, (n - 1) as u32),
+            };
+            let grown = live.query(Algorithm::SBand, &scorer, &q);
+            let scratch_built = rebuilt.query(Algorithm::SBand, &scorer, &q);
+            prop_assert_eq!(grown.stats.fallback, None);
+            prop_assert_eq!(scratch_built.stats.fallback, None);
+            prop_assert_eq!(&grown.records, &scratch_built.records, "k={} q={:?}", k, q);
         }
     }
 

@@ -3,7 +3,7 @@
 //! Implements the subset of the proptest API this workspace's property tests
 //! use: the [`proptest!`] macro with `#![proptest_config(..)]`, range and
 //! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
-//! [`Strategy::prop_map`], and the `prop_assert!` / `prop_assert_eq!`
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map), and the `prop_assert!` / `prop_assert_eq!`
 //! macros. Cases are generated from a deterministic per-test RNG; there is
 //! no shrinking — a failing case panics with its case number and message,
 //! and reruns reproduce it exactly.
