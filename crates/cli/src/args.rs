@@ -201,6 +201,52 @@ pub fn parse_serve(args: &Args) -> Result<ServeMode, String> {
     Ok(ServeMode { clients, requests, queue_cap, reject: args.has("reject"), ingest })
 }
 
+/// Storage backend of a live sharded engine (`--storage`, `--spill-after`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageChoice {
+    /// Keep every sealed chunk resident in memory (the default).
+    Memory,
+    /// Spill sealed chunks beyond the newest `spill_after` to pager-backed
+    /// pages in a temporary file, reloading them on demand at query time.
+    Paged {
+        /// Sealed chunks kept resident before older ones spill.
+        spill_after: usize,
+    },
+}
+
+/// Sealed chunks a paged backend keeps resident when `--spill-after` is
+/// not given.
+pub const DEFAULT_SPILL_AFTER: usize = 4;
+
+/// Parses the `--storage memory|paged` / `--spill-after N` backend flags.
+pub fn parse_storage(args: &Args) -> Result<StorageChoice, String> {
+    if args.switches.iter().any(|s| s == "storage") {
+        return Err("--storage needs a value: memory|paged".to_string());
+    }
+    let spill_after = match args.options.get("spill-after") {
+        None => None,
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("--spill-after: cannot parse {v:?}"))?;
+            if n == 0 {
+                return Err("--spill-after must be at least 1".to_string());
+            }
+            Some(n)
+        }
+    };
+    match (args.options.get("storage").map(String::as_str), spill_after) {
+        (None | Some("memory"), None) => Ok(StorageChoice::Memory),
+        (None | Some("memory"), Some(_)) => {
+            Err("--spill-after requires --storage paged".to_string())
+        }
+        (Some("paged"), n) => {
+            Ok(StorageChoice::Paged { spill_after: n.unwrap_or(DEFAULT_SPILL_AFTER) })
+        }
+        (Some(other), _) => {
+            Err(format!("unknown storage backend {other:?} (expected memory|paged)"))
+        }
+    }
+}
+
 /// Largest worker count the CLI accepts (a typo guard, not a scheduler).
 pub const MAX_THREADS: usize = 1024;
 
@@ -296,6 +342,35 @@ mod tests {
         assert!(err.contains("--threads"), "err={err}");
         let err = parse_serve(&parse("serve f.csv --stream")).expect_err("stream conflicts");
         assert!(err.contains("--stream"), "err={err}");
+    }
+
+    #[test]
+    fn storage_validation() {
+        assert_eq!(parse_storage(&parse("serve f.csv")).expect("default"), StorageChoice::Memory);
+        assert_eq!(
+            parse_storage(&parse("serve f.csv --storage memory")).expect("memory"),
+            StorageChoice::Memory
+        );
+        assert_eq!(
+            parse_storage(&parse("serve f.csv --storage paged")).expect("paged"),
+            StorageChoice::Paged { spill_after: DEFAULT_SPILL_AFTER }
+        );
+        assert_eq!(
+            parse_storage(&parse("serve f.csv --storage paged --spill-after 2")).expect("paged 2"),
+            StorageChoice::Paged { spill_after: 2 }
+        );
+        let err = parse_storage(&parse("serve f.csv --storage disk")).expect_err("unknown backend");
+        assert!(err.contains("disk") && err.contains("paged"), "err={err}");
+        let err = parse_storage(&parse("serve f.csv --storage")).expect_err("missing value");
+        assert!(err.contains("memory|paged"), "err={err}");
+        let err =
+            parse_storage(&parse("serve f.csv --spill-after 2")).expect_err("orphan spill-after");
+        assert!(err.contains("--storage paged"), "err={err}");
+        let err = parse_storage(&parse("serve f.csv --storage memory --spill-after 2"))
+            .expect_err("memory cannot spill");
+        assert!(err.contains("--storage paged"), "err={err}");
+        assert!(parse_storage(&parse("serve f.csv --storage paged --spill-after 0")).is_err());
+        assert!(parse_storage(&parse("serve f.csv --storage paged --spill-after lots")).is_err());
     }
 
     #[test]

@@ -11,12 +11,13 @@
 mod args;
 
 use args::{
-    parse_algorithms, parse_range, parse_serve, parse_stream, parse_threads, parse_weights, Args,
+    parse_algorithms, parse_range, parse_serve, parse_storage, parse_stream, parse_threads,
+    parse_weights, Args, StorageChoice,
 };
 use durable_topk::{
     Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine,
-    FallbackReason, LinearScorer, QueryStats, ScorerSpec, ServeEngine, ServeRequest, ShardedEngine,
-    Window,
+    FallbackReason, LinearScorer, PagedStorage, QueryStats, ScorerSpec, ServeEngine, ServeRequest,
+    ShardedEngine, Window,
 };
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
@@ -35,9 +36,11 @@ USAGE:
                              [--alg tbase|thop|sbase|sband|shop|shop1|all]
                              [--threads N] [--lookahead] [--durations] [--limit N]
                              [--stream [--every M]]
+                             [--storage memory|paged] [--spill-after N]
   durable-topk serve    FILE --k K --tau T [--weights ..] [--alg ..]
                              [--clients C] [--requests R] [--queue-cap Q]
                              [--reject] [--ingest M]
+                             [--storage memory|paged] [--spill-after N]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
@@ -52,7 +55,12 @@ requests total (parameters varied around --k/--tau, algorithms cycled)
 while the last M records (default: a tenth of the file) are ingested
 live; --reject sheds load when the queue is full instead of blocking, and
 a sample of the served answers is re-checked against the engine before
-the summary prints throughput and p50/p99 latency.";
+the summary prints throughput and p50/p99 latency. --storage selects the
+sealed-shard backend for the live modes (--stream and serve): `memory`
+(default) keeps every sealed chunk resident; `paged` spills chunks beyond
+the newest --spill-after (default 4) to pager-backed pages in a temporary
+file, reloading them transparently — and bit-identically — at query
+time.";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -118,6 +126,18 @@ fn fallback_cell(stats: &QueryStats) -> &'static str {
         Some(FallbackReason::SkybandBoundExceeded) => "k-bound",
         Some(FallbackReason::NonMonotoneScorer) => "non-monotone",
         Some(FallbackReason::TauBeyondOverlap) => "tau-overlap",
+    }
+}
+
+/// Applies the `--storage` selection to a freshly built live engine.
+fn apply_storage(engine: ShardedEngine, storage: StorageChoice) -> Result<ShardedEngine, String> {
+    match storage {
+        StorageChoice::Memory => Ok(engine),
+        StorageChoice::Paged { spill_after } => {
+            let backend = PagedStorage::with_temp_file(spill_after)
+                .map_err(|e| format!("--storage paged: {e}"))?;
+            Ok(engine.with_storage(std::sync::Arc::new(backend)))
+        }
     }
 }
 
@@ -210,6 +230,14 @@ fn query(args: &Args) -> Result<(), String> {
     let algs = parse_algorithms(args.get_or("alg", "shop"))?;
     let threads = parse_threads(args)?;
     let stream = parse_stream(args, &algs)?;
+    let storage = parse_storage(args)?;
+    if stream.is_none()
+        && (args.options.contains_key("storage") || args.options.contains_key("spill-after"))
+    {
+        return Err(
+            "--storage/--spill-after select the live engine's backend; add --stream".to_string()
+        );
+    }
     let scorer = scorer_for(args, ds.dim())?;
     let limit: usize = args.parse_or("limit", 50)?;
     let lookahead = args.has("lookahead");
@@ -218,7 +246,7 @@ fn query(args: &Args) -> Result<(), String> {
     }
     let q = DurableQuery { k, tau, interval };
     if let Some(mode) = stream {
-        return stream_replay(&ds, algs[0], &scorer, &q, mode, limit);
+        return stream_replay(&ds, algs[0], &scorer, &q, mode, storage, limit);
     }
 
     let mut engine = DurableTopKEngine::new(ds);
@@ -283,6 +311,7 @@ fn stream_replay(
     scorer: &LinearScorer,
     q: &DurableQuery,
     mode: args::StreamMode,
+    storage: StorageChoice,
     limit: usize,
 ) -> Result<(), String> {
     let n = ds.len();
@@ -294,6 +323,7 @@ fn stream_replay(
     if alg == Algorithm::SBand {
         engine = engine.with_skyband_bound(q.k);
     }
+    engine = apply_storage(engine, storage)?;
 
     let started = std::time::Instant::now();
     for id in 0..n as u32 {
@@ -324,6 +354,14 @@ fn stream_replay(
     let started = std::time::Instant::now();
     let result = engine.query(alg, scorer, q);
     let elapsed = started.elapsed();
+    if let StorageChoice::Paged { .. } = storage {
+        let st = engine.storage().stats();
+        println!(
+            "storage: {} sealed chunks ({} resident, {} spilled), {} cold fetches, \
+             {} cold page reads",
+            st.chunks, st.resident_chunks, st.spilled_chunks, st.cold_fetches, st.cold_page_reads,
+        );
+    }
     println!(
         "{} durable records (k={}, tau={}, I={}, {alg}) in {elapsed:.2?} — {} top-k queries{}",
         result.records.len(),
@@ -405,6 +443,7 @@ fn serve(args: &Args) -> Result<(), String> {
     if algs.contains(&Algorithm::SBand) {
         engine = engine.with_skyband_bound(k);
     }
+    engine = apply_storage(engine, parse_storage(args)?)?;
     for id in 0..base {
         engine.append(ds.row(id as u32));
     }
@@ -524,11 +563,12 @@ fn serve(args: &Args) -> Result<(), String> {
     // went missing somewhere on the ingestion timeline.
     println!(
         "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected, \
-         fallbacks={fallbacks}",
+         fallbacks={fallbacks}, cold-page-hits={}",
         stats.completed,
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
         samples.len(),
         rejected,
+        stats.cold_page_hits,
     );
     println!(
         "latency p50={:.2?} p99={:.2?} max={:.2?}; queue high-water {} of {}; \

@@ -7,8 +7,9 @@ use crate::duration::max_duration;
 use crate::error::BuildError;
 use crate::oracle::{SegTreeOracle, TopKOracle};
 use crate::query::{DurableQuery, QueryResult};
-use durable_topk_index::{DurableSkybandIndex, OracleScorer};
+use durable_topk_index::{DurableSkybandIndex, OracleScorer, SkybandCandidates};
 use durable_topk_temporal::{Anchor, Dataset, RecordId, Time, Window};
+use std::sync::Arc;
 
 /// Which durable top-k algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,14 +63,58 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// Shared per-substrate dispatch: runs `alg` over one dataset + oracle +
+/// optional skyband candidate source, with S-Band's graceful degradation
+/// to S-Hop (reason recorded in the stats). Both the sealed-engine
+/// front-end and every arm of the sharded fan-out delegate here, so the
+/// same request can never be dispatched differently depending on which
+/// substrate serves it.
+pub(crate) fn run_algorithm<O, C, S>(
+    ds: &Dataset,
+    oracle: &O,
+    skyband: Option<&C>,
+    alg: Algorithm,
+    scorer: &S,
+    query: &DurableQuery,
+    ctx: &mut QueryContext,
+) -> QueryResult
+where
+    O: TopKOracle + ?Sized,
+    C: SkybandCandidates + ?Sized,
+    S: OracleScorer + ?Sized,
+{
+    match alg {
+        Algorithm::TBase => t_base(ds, oracle, scorer, query, ctx),
+        Algorithm::THop => t_hop(ds, oracle, scorer, query, ctx),
+        Algorithm::SBase => s_base(ds, scorer, query, ctx),
+        Algorithm::SBand => match sband_fallback_reason(skyband, scorer, query.k) {
+            None => {
+                let idx = skyband.expect("reason checked Some");
+                s_band(ds, oracle, idx, scorer, query, ctx)
+            }
+            Some(reason) => {
+                // Graceful degradation: S-Hop answers the same query
+                // without the candidate index, and the stats carry why.
+                let mut result = s_hop(ds, oracle, scorer, query, RefillMode::TopK, ctx);
+                result.stats.fallback = Some(reason);
+                result
+            }
+        },
+        Algorithm::SHop => s_hop(ds, oracle, scorer, query, RefillMode::TopK, ctx),
+        Algorithm::SHopTop1 => s_hop(ds, oracle, scorer, query, RefillMode::Top1, ctx),
+    }
+}
+
 /// A ready-to-query durable top-k engine over one dataset.
 ///
-/// Owns the dataset, the segment-tree top-k oracle, and optionally the
-/// durable k-skyband index (for S-Band) and a reversed twin (for look-ahead
+/// Holds the dataset as a shared [`Arc`] — the sharded engine's seal path
+/// and the storage backends reference the same chunk without copying —
+/// plus the segment-tree top-k oracle, and optionally the durable
+/// k-skyband index (for S-Band) and a reversed twin (for look-ahead
 /// durability).
 #[derive(Debug)]
 pub struct DurableTopKEngine {
-    ds: Dataset,
+    ds: Arc<Dataset>,
     oracle: SegTreeOracle,
     skyband: Option<DurableSkybandIndex>,
     /// Reversed dataset + oracle, built on demand for look-ahead queries.
@@ -83,13 +128,13 @@ impl DurableTopKEngine {
     /// Panics if the dataset is empty.
     pub fn new(ds: Dataset) -> Self {
         let oracle = SegTreeOracle::build(&ds);
-        Self { ds, oracle, skyband: None, reversed: None }
+        Self { ds: Arc::new(ds), oracle, skyband: None, reversed: None }
     }
 
     /// Builds the engine with a custom oracle leaf size (ablations).
     pub fn with_leaf_size(ds: Dataset, leaf_size: usize) -> Self {
         let oracle = SegTreeOracle::with_leaf_size(&ds, leaf_size);
-        Self { ds, oracle, skyband: None, reversed: None }
+        Self { ds: Arc::new(ds), oracle, skyband: None, reversed: None }
     }
 
     /// Assembles an engine from a dataset and an already-built oracle —
@@ -100,7 +145,11 @@ impl DurableTopKEngine {
     /// Errors on an empty dataset instead of panicking: sealing runs on
     /// pool workers in a serving deployment, where an abort is never the
     /// right failure mode.
-    pub fn from_parts(ds: Dataset, oracle: SegTreeOracle) -> Result<Self, BuildError> {
+    ///
+    /// The dataset arrives as a shared `Arc`: sealing snapshots the head's
+    /// chunk once and the storage backend, the sealed engine and any
+    /// history view all reference that single copy.
+    pub fn from_parts(ds: Arc<Dataset>, oracle: SegTreeOracle) -> Result<Self, BuildError> {
         if ds.is_empty() {
             return Err(BuildError::EmptyDataset);
         }
@@ -137,6 +186,12 @@ impl DurableTopKEngine {
     /// The underlying dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.ds
+    }
+
+    /// The underlying dataset as a shared handle (no copy) — what the
+    /// tiered storage and the history cache hold on to.
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.ds)
     }
 
     /// The top-k oracle (for direct `Q(u, k, W)` queries).
@@ -195,33 +250,7 @@ impl DurableTopKEngine {
         query: &DurableQuery,
         ctx: &mut QueryContext,
     ) -> QueryResult {
-        match alg {
-            Algorithm::TBase => t_base(&self.ds, &self.oracle, scorer, query, ctx),
-            Algorithm::THop => t_hop(&self.ds, &self.oracle, scorer, query, ctx),
-            Algorithm::SBase => s_base(&self.ds, scorer, query, ctx),
-            Algorithm::SBand => {
-                let reason = sband_fallback_reason(self.skyband.as_ref(), scorer, query.k);
-                match reason {
-                    None => {
-                        let idx = self.skyband.as_ref().expect("reason checked Some");
-                        s_band(&self.ds, &self.oracle, idx, scorer, query, ctx)
-                    }
-                    Some(reason) => {
-                        // Graceful degradation: S-Hop answers the same
-                        // query without the candidate index, and the stats
-                        // carry why.
-                        let mut result =
-                            s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx);
-                        result.stats.fallback = Some(reason);
-                        result
-                    }
-                }
-            }
-            Algorithm::SHop => s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::TopK, ctx),
-            Algorithm::SHopTop1 => {
-                s_hop(&self.ds, &self.oracle, scorer, query, RefillMode::Top1, ctx)
-            }
-        }
+        run_algorithm(&self.ds, &self.oracle, self.skyband.as_ref(), alg, scorer, query, ctx)
     }
 
     /// Answers `DurTop(k, I, τ)` under either window anchoring.

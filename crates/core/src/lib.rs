@@ -50,6 +50,7 @@ pub mod pool;
 pub mod query;
 pub mod serve;
 pub mod sharded;
+pub mod storage;
 pub mod streaming;
 mod sync;
 
@@ -65,6 +66,7 @@ pub use serve::{
     ServeStats,
 };
 pub use sharded::{SealMode, ShardedEngine};
+pub use storage::{ChunkId, MemoryStorage, PagedStorage, ShardStorage, StorageStats};
 pub use streaming::StreamingMonitor;
 
 // Re-export the vocabulary types callers need.

@@ -117,6 +117,11 @@ pub struct QueryStats {
     pub candidates: u64,
     /// Candidates skipped purely by the blocking mechanism.
     pub blocked_skips: u64,
+    /// Physical page reads performed to fault spilled record chunks back
+    /// in (always `0` under [`MemoryStorage`](crate::MemoryStorage); under
+    /// [`PagedStorage`](crate::PagedStorage) it counts the cold-tier cost
+    /// the query actually paid).
+    pub cold_page_hits: u64,
     /// Set when the engine substituted a different execution for the
     /// requested one, carrying why (see [`FallbackReason`]); `None` means
     /// the requested algorithm served the query natively.
@@ -143,6 +148,7 @@ impl QueryStats {
         self.refill_queries += other.refill_queries;
         self.candidates += other.candidates;
         self.blocked_skips += other.blocked_skips;
+        self.cold_page_hits += other.cold_page_hits;
         self.fallback = match (self.fallback, other.fallback) {
             (Some(mine), Some(theirs)) if mine.is_expected() && !theirs.is_expected() => {
                 Some(theirs)

@@ -186,6 +186,7 @@ struct Counters {
     max_depth: AtomicU64,
     queue_ns: AtomicU64,
     service_ns: AtomicU64,
+    cold_page_hits: AtomicU64,
 }
 
 /// A point-in-time snapshot of the serving counters.
@@ -207,6 +208,11 @@ pub struct ServeStats {
     pub total_queued: Duration,
     /// Cumulative execution time of completed requests.
     pub total_service: Duration,
+    /// Cumulative physical page reads completed requests paid to fault
+    /// spilled record chunks back in (`0` under
+    /// [`MemoryStorage`](crate::MemoryStorage) — the cold-tier cost of a
+    /// [`PagedStorage`](crate::PagedStorage) deployment).
+    pub cold_page_hits: u64,
 }
 
 struct Shared {
@@ -257,6 +263,7 @@ impl Shared {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
                 self.counters.queue_ns.fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
                 self.counters.service_ns.fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+                self.counters.cold_page_hits.fetch_add(stats.cold_page_hits, Ordering::Relaxed);
                 Ok(ServeResponse { records, stats, queued, service })
             }
             Ok(Err(e)) => {
@@ -489,6 +496,7 @@ impl ServeEngine {
             max_depth: c.max_depth.load(Ordering::Relaxed),
             total_queued: Duration::from_nanos(c.queue_ns.load(Ordering::Relaxed)),
             total_service: Duration::from_nanos(c.service_ns.load(Ordering::Relaxed)),
+            cold_page_hits: c.cold_page_hits.load(Ordering::Relaxed),
         }
     }
 }

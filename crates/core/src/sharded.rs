@@ -10,8 +10,10 @@
 //! time order. [`ShardedEngine`] therefore treats sharding and ingestion as
 //! one system:
 //!
-//! * **Sealed tail shards** are immutable [`DurableTopKEngine`]s over
-//!   contiguous time ranges, each extended `max_tau` records to the left.
+//! * **Sealed tail shards** are immutable: a frozen segment-tree oracle,
+//!   an optional skyband index, and a record chunk held by the
+//!   [`ShardStorage`] backend, over contiguous time ranges each extended
+//!   `max_tau` records to the left.
 //! * **One mutable head shard** receives [`append`](ShardedEngine::append)s,
 //!   indexed incrementally by the appendable segment-tree forest
 //!   ([`AppendableTopKIndex`]). When the head has accumulated `shard_span`
@@ -39,24 +41,33 @@
 //! record-for-record identical to an unsharded engine over the same
 //! history for every `τ ≤ max_tau`.
 
-use crate::algorithms::{s_band, s_base, s_hop, sband_fallback_reason, t_base, t_hop, RefillMode};
 use crate::context::QueryContext;
-use crate::engine::{Algorithm, DurableTopKEngine};
+use crate::engine::{run_algorithm, Algorithm};
 use crate::error::{BuildError, QueryError};
-use crate::oracle::{ForestOracle, SegTreeOracle};
+use crate::oracle::{ForestOracle, SegTreeOracle, TopKOracle};
 use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
+use crate::storage::{ChunkId, MemoryStorage, ShardStorage};
 use crate::sync::OnceSlot;
-use durable_topk_index::{AppendableTopKIndex, OracleScorer, TopKResult, DEFAULT_LEAF_SIZE};
+use durable_topk_index::{
+    AppendableTopKIndex, DurableSkybandIndex, OracleScorer, TopKResult, DEFAULT_LEAF_SIZE,
+};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-/// One sealed time shard: an engine over `[ext_lo, hi]` that *owns*
-/// (reports answers for) `[lo, hi]`.
+/// One sealed time shard: a collapsed segment-tree oracle plus optional
+/// frozen skyband index over `[ext_lo, hi]`, *owning* (reporting answers
+/// for) `[lo, hi]`. The record chunk itself lives in the engine's
+/// [`ShardStorage`] backend, reached by handle — under
+/// [`PagedStorage`](crate::PagedStorage) it may be spilled to pages and is
+/// faulted back in transparently at query time.
 #[derive(Debug)]
 struct Shard {
-    engine: DurableTopKEngine,
+    oracle: SegTreeOracle,
+    skyband: Option<DurableSkybandIndex>,
+    /// Handle to the shard's record chunk (`[ext_lo, hi]`) in storage.
+    chunk: ChunkId,
     /// First global id present in the shard's sub-dataset (context overlap).
     ext_lo: Time,
     /// First global id the shard owns.
@@ -115,7 +126,10 @@ pub enum SealMode {
 /// its forest, still serving queries while the background collapse runs.
 #[derive(Debug)]
 struct HeadSnapshot {
-    ds: Dataset,
+    /// The head's sub-dataset, shared: the seal job, the storage backend
+    /// and any history view all reference this one copy — freezing a head
+    /// never duplicates its records.
+    ds: Arc<Dataset>,
     index: AppendableTopKIndex,
     ext_lo: Time,
     lo: Time,
@@ -142,31 +156,30 @@ impl PendingSeal {
     /// independent of pool scheduling (a waiter may hold a lock the pool
     /// workers are queued behind; depending on the pool to get to the
     /// seal job first would deadlock).
-    fn steal_if_unclaimed(&self) {
+    fn steal_if_unclaimed(&self, storage: &Arc<dyn ShardStorage>) {
         if self.slot.claim() {
-            self.slot.publish(Ok(run_seal(&self.snap)));
+            self.slot.publish(Ok(run_seal(&self.snap, storage)));
         }
     }
 }
 
-/// Collapses a head snapshot into a sealed tail shard. Runs on a pool
-/// worker under [`SealMode::Background`], inline otherwise; either way the
-/// snapshot is read-only and the produced shard is published whole.
-fn run_seal(snap: &HeadSnapshot) -> Shard {
+/// Collapses a head snapshot into a sealed tail shard and hands its record
+/// chunk to the storage backend (where [`PagedStorage`](crate::PagedStorage)
+/// serializes it to pages — on this seal path, never on the append hot
+/// path). Runs on a pool worker under [`SealMode::Background`], inline
+/// otherwise; either way the snapshot is read-only and the produced shard
+/// is published whole.
+fn run_seal(snap: &HeadSnapshot, storage: &Arc<dyn ShardStorage>) -> Shard {
     let tree = snap.index.seal_ref(&snap.ds);
-    let mut engine = DurableTopKEngine::from_parts(snap.ds.clone(), SegTreeOracle::from_tree(tree))
-        .expect("a sealed head always owns records");
-    if let Some(skyband) = snap.index.sealed_skyband() {
-        // The head maintained its skyband incrementally; freezing the
-        // known durations skips the O(n · scan) recompute a from-scratch
-        // build pays.
-        engine = engine.with_prebuilt_skyband(skyband);
-    } else if let Some(k_max) = snap.k_max {
-        // Bound set after this head already had records without an
-        // attached maintainer (legacy path): build statically.
-        engine = engine.with_skyband_index(k_max);
-    }
-    Shard { engine, ext_lo: snap.ext_lo, lo: snap.lo, hi: snap.hi }
+    let oracle = SegTreeOracle::from_tree(tree);
+    let skyband = snap.index.sealed_skyband().or_else(|| {
+        // The incremental maintainer (attached when the skyband bound was
+        // set before this head's records arrived) freezes its known
+        // durations for free; the legacy path builds statically.
+        snap.k_max.map(|k_max| DurableSkybandIndex::build(&snap.ds, k_max))
+    });
+    let chunk = storage.store(Arc::clone(&snap.ds));
+    Shard { oracle, skyband, chunk, ext_lo: snap.ext_lo, lo: snap.lo, hi: snap.hi }
 }
 
 /// Head-forest merge cap for a given shard span (see
@@ -186,6 +199,10 @@ const MAX_PENDING_SEALS: usize = 4;
 #[derive(Debug)]
 pub struct ShardedEngine {
     tails: Vec<Shard>,
+    /// Where sealed tails' record chunks live — [`MemoryStorage`] by
+    /// default, [`PagedStorage`](crate::PagedStorage) to spill old chunks
+    /// to pager-backed pages (see [`with_storage`](ShardedEngine::with_storage)).
+    storage: Arc<dyn ShardStorage>,
     /// Seals handed to the pool, oldest first. Their snapshots keep
     /// serving queries until a `&mut self` call splices the published
     /// shards into `tails`.
@@ -264,6 +281,7 @@ impl ShardedEngine {
         }
         Ok(Self {
             tails: Vec::new(),
+            storage: Arc::new(MemoryStorage::new()),
             pending: Vec::new(),
             head: Head::empty(dim, leaf_size, merge_cap_for(shard_span), 0, None),
             shard_span,
@@ -294,6 +312,32 @@ impl ShardedEngine {
     pub fn with_seal_mode(mut self, mode: SealMode) -> Self {
         self.seal_mode = mode;
         self
+    }
+
+    /// Switches the storage backend for sealed tails' record chunks
+    /// (default: [`MemoryStorage`]). Existing chunks are migrated —
+    /// in-flight seals are waited out, then every tail's chunk is
+    /// re-stored into the new backend in time order, so a
+    /// [`PagedStorage`](crate::PagedStorage) backend immediately starts
+    /// spilling everything older than its residency window. Answers are
+    /// bit-identical under every backend; only residency and query-time
+    /// page faults ([`QueryStats::cold_page_hits`]) change.
+    pub fn with_storage(mut self, storage: Arc<dyn ShardStorage>) -> Self {
+        self.quiesce();
+        for shard in &mut self.tails {
+            let (chunk, _) = self.storage.fetch(shard.chunk);
+            shard.chunk = storage.store(chunk);
+        }
+        self.storage = storage;
+        self
+    }
+
+    /// The storage backend holding the sealed tails' record chunks (its
+    /// [`stats`](ShardStorage::stats) expose residency and cold-read
+    /// counters; [`resident_bytes`](ShardStorage::resident_bytes) the
+    /// decoded footprint).
+    pub fn storage(&self) -> &Arc<dyn ShardStorage> {
+        &self.storage
     }
 
     /// Partitions `ds` into `shard_count` contiguous time shards (capped at
@@ -356,22 +400,37 @@ impl ShardedEngine {
                 (lo.saturating_sub(max_tau), lo, hi)
             })
             .collect();
-        let tails = WorkerPool::global().run_jobs(ranges.len(), ranges.len(), |s, _ctx| {
-            let (ext_lo, lo, hi) = ranges[s];
+        let parts = WorkerPool::global().run_jobs(ranges.len(), ranges.len(), |s, _ctx| {
+            let (ext_lo, _lo, hi) = ranges[s];
             let mut sub = Dataset::with_capacity(ds.dim(), (hi - ext_lo + 1) as usize);
             for id in ext_lo..=hi {
                 sub.push(ds.row(id));
             }
-            let mut engine = DurableTopKEngine::new(sub);
-            if let Some(k_max) = k_max {
-                engine = engine.with_skyband_index(k_max);
-            }
-            Shard { engine, ext_lo, lo, hi }
+            let oracle = SegTreeOracle::build(&sub);
+            let skyband = k_max.map(|k_max| DurableSkybandIndex::build(&sub, k_max));
+            (Arc::new(sub), oracle, skyband)
         });
+        // Store the chunks sequentially after the parallel index build so
+        // chunk ids land in time order — under a paged backend that keeps
+        // the *newest* shards resident and spills the oldest first.
+        let storage: Arc<dyn ShardStorage> = Arc::new(MemoryStorage::new());
+        let tails = parts
+            .into_iter()
+            .zip(&ranges)
+            .map(|((sub, oracle, skyband), &(ext_lo, lo, hi))| Shard {
+                oracle,
+                skyband,
+                chunk: storage.store(sub),
+                ext_lo,
+                lo,
+                hi,
+            })
+            .collect();
 
         // Prime an empty head with the trailing max_tau records as context.
         let mut engine = Self {
             tails,
+            storage,
             pending: Vec::new(),
             head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, merge_cap_for(per_shard), n, k_max),
             shard_span: per_shard,
@@ -465,7 +524,7 @@ impl ShardedEngine {
             ),
         );
         let snap = Arc::new(HeadSnapshot {
-            ds: head.ds,
+            ds: Arc::new(head.ds),
             index: head.index,
             ext_lo: head.ext_lo,
             lo: head.lo,
@@ -483,24 +542,26 @@ impl ShardedEngine {
             SealMode::Background => {
                 let job_snap = Arc::clone(&snap);
                 let job_slot = Arc::clone(&slot);
+                let job_storage = Arc::clone(&self.storage);
                 let submitted = WorkerPool::global().submit(move |_ctx| {
                     // A waiter may have stolen the seal while this job sat
                     // in the pool queue; produce only if we claim first.
                     if job_slot.claim() {
-                        let outcome = catch_unwind(AssertUnwindSafe(|| run_seal(&job_snap)))
-                            .map_err(|_| "background seal panicked".to_string());
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| run_seal(&job_snap, &job_storage)))
+                                .map_err(|_| "background seal panicked".to_string());
                         job_slot.publish(outcome);
                     }
                 });
                 if !submitted && slot.claim() {
                     // Pool shutting down: seal inline rather than leak an
                     // unfulfillable slot.
-                    slot.publish(Ok(run_seal(&snap)));
+                    slot.publish(Ok(run_seal(&snap, &self.storage)));
                 }
             }
             SealMode::Synchronous => {
                 slot.claim();
-                slot.publish(Ok(run_seal(&snap)));
+                slot.publish(Ok(run_seal(&snap, &self.storage)));
             }
         }
         self.pending.push(PendingSeal { snap, slot });
@@ -528,7 +589,8 @@ impl ShardedEngine {
             sealed.snap.index.counters().queries(),
             std::sync::atomic::Ordering::Relaxed,
         );
-        self.tails.push(outcome.unwrap_or_else(|_| run_seal(&sealed.snap)));
+        let shard = outcome.unwrap_or_else(|_| run_seal(&sealed.snap, &self.storage));
+        self.tails.push(shard);
     }
 
     /// Integrates the oldest pending seal, producing it on this thread if
@@ -543,7 +605,7 @@ impl ShardedEngine {
     /// whole snapshot.
     fn integrate_front_blocking(&mut self) {
         let sealed = self.pending.remove(0);
-        sealed.steal_if_unclaimed();
+        sealed.steal_if_unclaimed(&self.storage);
         let outcome = sealed.slot.take_blocking();
         self.integrate(sealed, outcome);
     }
@@ -598,7 +660,8 @@ impl ShardedEngine {
     /// Answers `DurTop(k, I, τ)` by fanning out over the shards owning a
     /// piece of `I` through the persistent worker pool (one job and one
     /// reused [`QueryContext`] per shard) and merging the per-shard
-    /// answers. Identical to [`DurableTopKEngine::query`] over the same
+    /// answers. Identical to
+    /// [`DurableTopKEngine::query`](crate::DurableTopKEngine::query) over the same
     /// history for `τ ≤ max_tau`.
     ///
     /// With a skyband bound configured
@@ -675,7 +738,23 @@ impl ShardedEngine {
 
         let partials =
             WorkerPool::global().run_jobs(jobs.len(), jobs.len(), |i, ctx| match &jobs[i] {
-                Job::Tail(shard, local) => shard.engine.query_with(alg, scorer, local, ctx),
+                Job::Tail(shard, local) => {
+                    // Resident chunks come back as a free Arc clone; a
+                    // spilled one faults its pages in, and the query's
+                    // stats carry the physical reads it paid.
+                    let (chunk, cold) = self.storage.fetch(shard.chunk);
+                    let mut result = run_algorithm(
+                        &chunk,
+                        &shard.oracle,
+                        shard.skyband.as_ref(),
+                        alg,
+                        scorer,
+                        local,
+                        ctx,
+                    );
+                    result.stats.cold_page_hits += cold;
+                    result
+                }
                 Job::Sealing(snap, local) => {
                     query_forest(&snap.ds, &snap.index, alg, scorer, local, ctx)
                 }
@@ -732,14 +811,11 @@ impl ShardedEngine {
         for shard in &self.tails {
             if let Some(piece) = w.intersect(Window::new(shard.lo, shard.hi)) {
                 let local = Window::new(piece.start() - shard.ext_lo, piece.end() - shard.ext_lo);
-                shard.engine.oracle().tree().top_k_with(
-                    shard.engine.dataset(),
-                    scorer,
-                    k,
-                    local,
-                    &mut ctx.oracle,
-                    out,
-                );
+                // Cold-read counts are dropped here (no stats channel on
+                // the building-block path); the storage backend's own
+                // counters still record them.
+                let (chunk, _cold) = self.storage.fetch(shard.chunk);
+                shard.oracle.tree().top_k_with(&chunk, scorer, k, local, &mut ctx.oracle, out);
                 merge.extend(out.items.iter().map(|&(id, s)| (id + shard.ext_lo, s)));
             }
         }
@@ -778,12 +854,48 @@ impl ShardedEngine {
         out
     }
 
+    /// Appends the attribute rows of global records `[from, len)` to
+    /// `out`, reading sealed tails through the storage backend (spilled
+    /// chunks are faulted in), then in-flight seal snapshots, then the
+    /// mutable head — in global time order.
+    ///
+    /// This is how [`StreamingMonitor`](crate::StreamingMonitor) keeps a
+    /// contiguous history view for its τ-overlap scan fallback without
+    /// holding a second permanent copy of every record. Wall-clock stamps
+    /// are not carried over (the view is attribute rows keyed by arrival
+    /// id, which is all the scan-exact algorithms read).
+    pub fn copy_history_into(&self, out: &mut Dataset, from: usize) {
+        for shard in &self.tails {
+            if (shard.hi as usize) < from {
+                continue;
+            }
+            let (chunk, _cold) = self.storage.fetch(shard.chunk);
+            for id in from.max(shard.lo as usize)..=shard.hi as usize {
+                out.push(chunk.row((id - shard.ext_lo as usize) as RecordId));
+            }
+        }
+        for pending in &self.pending {
+            let snap = pending.snap.as_ref();
+            if (snap.hi as usize) < from {
+                continue;
+            }
+            for id in from.max(snap.lo as usize)..=snap.hi as usize {
+                out.push(snap.ds.row((id - snap.ext_lo as usize) as RecordId));
+            }
+        }
+        if self.head_owned() > 0 {
+            for id in from.max(self.head.lo as usize)..self.len {
+                out.push(self.head.ds.row((id - self.head.ext_lo as usize) as RecordId));
+            }
+        }
+    }
+
     /// Cumulative top-k queries issued across all shard oracles (sealed
     /// tails, sealing snapshots — including ones that have since
     /// integrated — plus the head forest). Monotone until
     /// [`reset_counters`](ShardedEngine::reset_counters).
     pub fn oracle_queries(&self) -> u64 {
-        let tails: u64 = self.tails.iter().map(|s| s.engine.oracle_queries()).sum();
+        let tails: u64 = self.tails.iter().map(|s| s.oracle.queries_issued()).sum();
         let sealing: u64 = self.pending.iter().map(|p| p.snap.index.counters().queries()).sum();
         let retired = self.retired_queries.load(std::sync::atomic::Ordering::Relaxed);
         tails + sealing + retired + self.head.index.counters().queries()
@@ -792,7 +904,7 @@ impl ShardedEngine {
     /// Resets instrumentation on every shard.
     pub fn reset_counters(&self) {
         for shard in &self.tails {
-            shard.engine.reset_counters();
+            shard.oracle.reset_counters();
         }
         for pending in &self.pending {
             pending.snap.index.counters().reset();
@@ -812,39 +924,19 @@ fn query_forest<S: OracleScorer + ?Sized>(
     local: &DurableQuery,
     ctx: &mut QueryContext,
 ) -> QueryResult {
+    // The forest's incrementally-maintained skyband serves S-Band natively
+    // at every point of the append timeline; the shared dispatch degrades
+    // for exactly the same request-level reasons the sealed engine does,
+    // so both substrates classify identically.
     let oracle = ForestOracle::new(index);
-    match alg {
-        Algorithm::TBase => t_base(ds, &oracle, scorer, local, ctx),
-        Algorithm::THop => t_hop(ds, &oracle, scorer, local, ctx),
-        Algorithm::SBase => s_base(ds, scorer, local, ctx),
-        Algorithm::SHop => s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx),
-        Algorithm::SHopTop1 => s_hop(ds, &oracle, scorer, local, RefillMode::Top1, ctx),
-        Algorithm::SBand => {
-            // The forest's incrementally-maintained skyband serves S-Band
-            // natively at every point of the append timeline; S-Hop only
-            // substitutes for the same request-level reasons the sealed
-            // engine degrades on (shared derivation, so both substrates
-            // classify identically).
-            let reason = sband_fallback_reason(index.skyband(), scorer, local.k);
-            match reason {
-                None => {
-                    let sb = index.skyband().expect("reason checked Some");
-                    s_band(ds, &oracle, sb, scorer, local, ctx)
-                }
-                Some(reason) => {
-                    let mut result = s_hop(ds, &oracle, scorer, local, RefillMode::TopK, ctx);
-                    result.stats.fallback = Some(reason);
-                    result
-                }
-            }
-        }
-    }
+    run_algorithm(ds, &oracle, index.skyband(), alg, scorer, local, ctx)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::TopKOracle;
+    use crate::engine::DurableTopKEngine;
+    use crate::storage::PagedStorage;
     use durable_topk_temporal::LinearScorer;
 
     fn dataset(n: usize) -> Dataset {
@@ -879,7 +971,7 @@ mod tests {
         let flat = DurableTopKEngine::new(ds);
         assert_eq!(got.records, flat.query(Algorithm::THop, &scorer, &q).records);
         // Only shard 3's oracle saw traffic.
-        let active: usize = sharded.tails.iter().filter(|s| s.engine.oracle_queries() > 0).count();
+        let active: usize = sharded.tails.iter().filter(|s| s.oracle.queries_issued() > 0).count();
         assert_eq!(active, 1);
     }
 
@@ -1171,6 +1263,77 @@ mod tests {
         let q = DurableQuery { k: 9, tau: 12, interval: Window::new(0, 119) };
         let got = live.query(Algorithm::SBand, &scorer, &q);
         assert_eq!(got.stats.fallback, Some(crate::FallbackReason::SkybandBoundExceeded));
+    }
+
+    #[test]
+    fn paged_storage_serves_identical_answers_from_spilled_tails() {
+        let ds = dataset(600);
+        let scorer = LinearScorer::new(vec![0.7, 0.3]);
+        let mut live = ShardedEngine::new_live(2, 64, 32);
+        for id in 0..600u32 {
+            live.append(ds.row(id));
+        }
+        live.quiesce();
+        // Keep only the newest chunk decoded: everything older must be
+        // served by faulting pages back in.
+        let live =
+            live.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
+        assert!(
+            live.storage().stats().spilled_chunks >= 2,
+            "spill_after=1 must leave most tails spilled"
+        );
+        let flat = DurableTopKEngine::new(ds.clone());
+        let q = DurableQuery { k: 3, tau: 30, interval: Window::new(0, 599) };
+        for alg in [Algorithm::THop, Algorithm::SHop, Algorithm::TBase] {
+            let got = live.query(alg, &scorer, &q);
+            assert_eq!(got.records, flat.query(alg, &scorer, &q).records, "alg={alg}");
+        }
+        // The full-interval queries touched spilled shards and decoded
+        // them from pages. (Physical reads may be zero here — the pool's
+        // frame cache is still warm right after migration — which is
+        // exactly what cold_page_hits should then report.)
+        assert!(
+            live.storage().stats().cold_fetches > 0,
+            "queries over spilled tails must decode from the paged tier"
+        );
+        // A paged engine keeps ingesting and sealing into the same backend.
+        let mut live = live;
+        for id in 0..200u32 {
+            live.append(ds.row(id));
+        }
+        live.quiesce();
+        let q = DurableQuery { k: 2, tau: 30, interval: Window::new(550, 799) };
+        let mut full = ds.clone();
+        for id in 0..200u32 {
+            full.push(ds.row(id));
+        }
+        let flat = DurableTopKEngine::new(full);
+        assert_eq!(
+            live.query(Algorithm::SHop, &scorer, &q).records,
+            flat.query(Algorithm::SHop, &scorer, &q).records
+        );
+    }
+
+    #[test]
+    fn copy_history_into_reconstructs_the_global_timeline() {
+        let ds = dataset(300);
+        let mut live = ShardedEngine::new_live(2, 32, 16);
+        for id in 0..300u32 {
+            live.append(ds.row(id));
+        }
+        // From zero: the whole history, bit-identical, even with seals in
+        // flight and spilled chunks.
+        let live =
+            live.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
+        let mut out = Dataset::new(2);
+        live.copy_history_into(&mut out, 0);
+        assert_eq!(out.raw_attrs(), ds.raw_attrs());
+        // From an offset: exactly the suffix.
+        let mut tail = Dataset::new(2);
+        live.copy_history_into(&mut tail, 123);
+        assert_eq!(tail.len(), 300 - 123);
+        assert_eq!(tail.row(0), ds.row(123));
+        assert_eq!(tail.row(176), ds.row(299));
     }
 
     #[test]

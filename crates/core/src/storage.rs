@@ -1,0 +1,424 @@
+//! Tiered storage for sealed shard record chunks.
+//!
+//! A sealed tail shard of the [`ShardedEngine`](crate::ShardedEngine) is
+//! three things: a collapsed segment tree, an optional frozen skyband
+//! index, and the *record chunk* — the immutable sub-dataset covering the
+//! shard's extended time range. The first two are compact; the chunk is
+//! where the resident set lives. This module puts the chunk behind a
+//! [`ShardStorage`] trait with two backends:
+//!
+//! * [`MemoryStorage`] — every chunk stays decoded in memory as a shared
+//!   [`Arc<Dataset>`]. Today's behavior, zero-cost fetches, the default.
+//! * [`PagedStorage`] — chunks are serialized page-aligned into a
+//!   [`BufferPool`] file at store time (on the background seal worker, off
+//!   the append path). The newest `spill_after` chunks additionally stay
+//!   decoded; older ones are *spilled* — a query touching one transparently
+//!   faults its pages back in, decodes, and reports the physical page
+//!   reads as cold-page hits
+//!   ([`QueryStats::cold_page_hits`](crate::QueryStats::cold_page_hits)).
+//!   The pages of the most recently faulted chunk are pinned in the pool
+//!   (up to half its frames), so an immediately repeated cold query is
+//!   served warm.
+//!
+//! Because chunks are shared `Arc`s end to end — head snapshot, seal job,
+//! storage, query fan-out — sealing no longer copies the record data and
+//! the engine holds exactly one decoded copy of each chunk, whichever
+//! backend is active. Exactness is non-negotiable: the paged roundtrip is
+//! bit-identical (see the store crate's chunk format), proptested against
+//! [`MemoryStorage`] across seal boundaries.
+
+use durable_topk_store::{chunk_page_len, read_chunk, write_chunk, BufferPool};
+use durable_topk_temporal::Dataset;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle to a stored record chunk, issued by [`ShardStorage::store`].
+pub type ChunkId = usize;
+
+/// A point-in-time snapshot of a storage backend's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Chunks stored.
+    pub chunks: usize,
+    /// Chunks currently held decoded in memory.
+    pub resident_chunks: usize,
+    /// Chunks currently spilled (reachable only through page I/O).
+    pub spilled_chunks: usize,
+    /// Total [`fetch`](ShardStorage::fetch) calls.
+    pub fetches: u64,
+    /// Fetches that had to decode a spilled chunk from pages.
+    pub cold_fetches: u64,
+    /// Physical page reads performed by cold fetches.
+    pub cold_page_reads: u64,
+}
+
+/// Where sealed shards keep their record chunks.
+///
+/// Implementations are shared across the appending thread, the background
+/// seal workers and the query fan-out (`Send + Sync`); all methods take
+/// `&self`.
+pub trait ShardStorage: Send + Sync + std::fmt::Debug {
+    /// Stores an immutable chunk, returning its handle. Runs on the seal
+    /// path (a background pool job by default), never on the append hot
+    /// path.
+    fn store(&self, chunk: Arc<Dataset>) -> ChunkId;
+
+    /// Retrieves a chunk by handle, together with the number of physical
+    /// page reads the retrieval needed (`0` when the chunk was resident —
+    /// the figure queries surface as
+    /// [`QueryStats::cold_page_hits`](crate::QueryStats::cold_page_hits)).
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this backend.
+    fn fetch(&self, id: ChunkId) -> (Arc<Dataset>, u64);
+
+    /// Counter snapshot.
+    fn stats(&self) -> StorageStats;
+
+    /// Heap bytes of the chunks currently held decoded (the resident-set
+    /// figure the storage bench reports).
+    fn resident_bytes(&self) -> usize;
+}
+
+/// The all-in-memory backend: chunks are shared `Arc`s, fetches are clone
+/// cheap, nothing is ever cold.
+#[derive(Debug, Default)]
+pub struct MemoryStorage {
+    chunks: Mutex<Vec<Arc<Dataset>>>,
+    fetches: AtomicU64,
+}
+
+impl MemoryStorage {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardStorage for MemoryStorage {
+    fn store(&self, chunk: Arc<Dataset>) -> ChunkId {
+        let mut chunks = lock(&self.chunks);
+        chunks.push(chunk);
+        chunks.len() - 1
+    }
+
+    fn fetch(&self, id: ChunkId) -> (Arc<Dataset>, u64) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        (Arc::clone(&lock(&self.chunks)[id]), 0)
+    }
+
+    fn stats(&self) -> StorageStats {
+        let chunks = lock(&self.chunks).len();
+        StorageStats {
+            chunks,
+            resident_chunks: chunks,
+            spilled_chunks: 0,
+            fetches: self.fetches.load(Ordering::Relaxed),
+            cold_fetches: 0,
+            cold_page_reads: 0,
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        lock(&self.chunks).iter().map(|c| c.heap_bytes()).sum()
+    }
+}
+
+/// Per-chunk directory entry of the paged backend.
+struct PagedChunk {
+    first_page: u64,
+    pages: u64,
+    /// Decoded copy, present while the chunk is in the resident tier (or
+    /// permanently, if its spill write failed).
+    resident: Option<Arc<Dataset>>,
+    /// Whether the serialized form reached the pool (spilling is only
+    /// legal then; a failed write degrades the chunk to memory residency
+    /// rather than losing data).
+    on_disk: bool,
+}
+
+struct Paged {
+    pool: BufferPool,
+    dir: Vec<PagedChunk>,
+    /// Chunks eligible for spilling, oldest first.
+    resident_order: VecDeque<ChunkId>,
+    /// Chunk whose pages are currently pinned in the pool.
+    pinned: Option<ChunkId>,
+    next_page: u64,
+    fetches: u64,
+    cold_fetches: u64,
+    cold_page_reads: u64,
+    write_failures: u64,
+}
+
+impl Paged {
+    fn unpin_current(&mut self) {
+        if let Some(id) = self.pinned.take() {
+            let c = &self.dir[id];
+            for p in c.first_page..c.first_page + c.pages {
+                self.pool.unpin(p);
+            }
+        }
+    }
+
+    /// Pins the chunk's leading pages, up to half the pool so unpinned
+    /// frames always remain for other traffic.
+    fn pin_chunk(&mut self, id: ChunkId, budget: usize) {
+        self.unpin_current();
+        let (first, pages) = (self.dir[id].first_page, self.dir[id].pages);
+        for p in first..first + pages.min(budget as u64) {
+            if self.pool.pin(p).is_err() {
+                break;
+            }
+        }
+        self.pinned = Some(id);
+    }
+}
+
+/// The pager-backed tiered backend: every chunk is serialized to pages at
+/// store time; the newest `spill_after` chunks also stay decoded, older
+/// ones are served by faulting their pages back in. See the module docs
+/// for the full story.
+pub struct PagedStorage {
+    inner: Mutex<Paged>,
+    spill_after: usize,
+    pin_budget: usize,
+}
+
+impl std::fmt::Debug for PagedStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PagedStorage")
+            .field("spill_after", &self.spill_after)
+            .field("chunks", &s.chunks)
+            .field("spilled_chunks", &s.spilled_chunks)
+            .finish()
+    }
+}
+
+impl PagedStorage {
+    /// Creates a paged backend over a (truncated) file at `path` with
+    /// `cache_pages` buffer-pool frames; the newest `spill_after` chunks
+    /// stay decoded in memory.
+    ///
+    /// # Panics
+    /// Panics if `cache_pages == 0`.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        cache_pages: usize,
+        spill_after: usize,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            inner: Mutex::new(Paged {
+                pool: BufferPool::create(path, cache_pages)?,
+                dir: Vec::new(),
+                resident_order: VecDeque::new(),
+                pinned: None,
+                next_page: 0,
+                fetches: 0,
+                cold_fetches: 0,
+                cold_page_reads: 0,
+                write_failures: 0,
+            }),
+            spill_after,
+            pin_budget: (cache_pages / 2).max(1),
+        })
+    }
+
+    /// Creates a paged backend over a fresh file in the system temp
+    /// directory (unique per process and instance) with a default cache of
+    /// 64 pages — the convenience constructor the CLI's `--storage paged`
+    /// uses. The file is not cleaned up on drop; chunk files are scratch
+    /// space sized by the spilled history.
+    pub fn with_temp_file(spill_after: usize) -> io::Result<Self> {
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let name = format!(
+            "durable-topk-chunks-{}-{}.db",
+            std::process::id(),
+            INSTANCE.fetch_add(1, Ordering::Relaxed)
+        );
+        Self::create(Self::temp_path(&name), 64, spill_after)
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    /// Cumulative spill writes that failed (those chunks stay memory
+    /// resident; data is never lost to an I/O error).
+    pub fn write_failures(&self) -> u64 {
+        lock(&self.inner).write_failures
+    }
+}
+
+impl ShardStorage for PagedStorage {
+    fn store(&self, chunk: Arc<Dataset>) -> ChunkId {
+        let inner = &mut *lock(&self.inner);
+        let id = inner.dir.len();
+        let first_page = inner.next_page;
+        let on_disk = match write_chunk(&mut inner.pool, first_page, &chunk) {
+            Ok(pages) => {
+                inner.next_page += pages;
+                true
+            }
+            Err(_) => {
+                // Degrade to memory residency: the decoded Arc is kept
+                // forever and the page range is abandoned.
+                inner.write_failures += 1;
+                false
+            }
+        };
+        inner.dir.push(PagedChunk {
+            first_page,
+            pages: chunk_page_len(&chunk),
+            resident: Some(chunk),
+            on_disk,
+        });
+        if on_disk {
+            inner.resident_order.push_back(id);
+            while inner.resident_order.len() > self.spill_after {
+                let victim = inner.resident_order.pop_front().expect("non-empty");
+                inner.dir[victim].resident = None;
+            }
+        }
+        id
+    }
+
+    fn fetch(&self, id: ChunkId) -> (Arc<Dataset>, u64) {
+        let inner = &mut *lock(&self.inner);
+        inner.fetches += 1;
+        if let Some(chunk) = &inner.dir[id].resident {
+            return (Arc::clone(chunk), 0);
+        }
+        // Cold: fault the pages in and decode. The read goes through the
+        // pool, so pages still cached (or pinned from a previous fault)
+        // cost no physical I/O — only true faults count.
+        assert!(
+            inner.dir[id].on_disk,
+            "a non-resident chunk must have reached the pool (write failures stay resident)"
+        );
+        let before = inner.pool.stats().reads;
+        let first_page = inner.dir[id].first_page;
+        let ds = read_chunk(&mut inner.pool, first_page)
+            .expect("a spilled chunk is always readable from its own pool");
+        let cold = inner.pool.stats().reads - before;
+        inner.cold_fetches += 1;
+        inner.cold_page_reads += cold;
+        inner.pin_chunk(id, self.pin_budget);
+        (Arc::new(ds), cold)
+    }
+
+    fn stats(&self) -> StorageStats {
+        let inner = lock(&self.inner);
+        let resident = inner.dir.iter().filter(|c| c.resident.is_some()).count();
+        StorageStats {
+            chunks: inner.dir.len(),
+            resident_chunks: resident,
+            spilled_chunks: inner.dir.len() - resident,
+            fetches: inner.fetches,
+            cold_fetches: inner.cold_fetches,
+            cold_page_reads: inner.cold_page_reads,
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        lock(&self.inner)
+            .dir
+            .iter()
+            .filter_map(|c| c.resident.as_ref())
+            .map(|c| c.heap_bytes())
+            .sum()
+    }
+}
+
+/// Keep `PAGE_SIZE` reachable from the core crate's storage vocabulary so
+/// callers sizing pools need not depend on the store crate directly.
+pub use durable_topk_store::PAGE_SIZE as STORAGE_PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(seed: u64, n: usize) -> Arc<Dataset> {
+        Arc::new(Dataset::from_rows(
+            2,
+            (0..n).map(|i| {
+                let x = ((i as u64 * 37 + seed * 101) % 113) as f64;
+                [x, 113.0 - x]
+            }),
+        ))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("durable-topk-storage-tests");
+        std::fs::create_dir_all(&dir).expect("mk tmpdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn memory_storage_shares_the_arc() {
+        let storage = MemoryStorage::new();
+        let c = chunk(1, 50);
+        let id = storage.store(Arc::clone(&c));
+        let (back, cold) = storage.fetch(id);
+        assert_eq!(cold, 0);
+        assert!(Arc::ptr_eq(&back, &c), "memory fetches never copy");
+        assert_eq!(storage.stats().chunks, 1);
+        assert_eq!(storage.resident_bytes(), c.heap_bytes());
+    }
+
+    #[test]
+    fn paged_storage_spills_old_chunks_and_reloads_bit_identically() {
+        let storage = PagedStorage::create(tmp("spill.db"), 16, 1).expect("create");
+        let chunks: Vec<_> = (0..4).map(|s| chunk(s, 600)).collect();
+        let ids: Vec<_> = chunks.iter().map(|c| storage.store(Arc::clone(c))).collect();
+        let s = storage.stats();
+        assert_eq!(s.chunks, 4);
+        assert_eq!(s.resident_chunks, 1, "spill_after=1 keeps only the newest decoded");
+        assert_eq!(s.spilled_chunks, 3);
+        // Every chunk — resident or spilled — reads back bit-identically.
+        for (id, original) in ids.iter().zip(&chunks) {
+            let (back, _) = storage.fetch(*id);
+            assert_eq!(back.raw_attrs(), original.raw_attrs());
+        }
+        assert!(storage.stats().cold_fetches >= 3);
+        assert_eq!(storage.write_failures(), 0);
+    }
+
+    #[test]
+    fn cold_fetch_reports_page_reads_and_pinning_warms_repeats() {
+        let storage = PagedStorage::create(tmp("pin.db"), 16, 1).expect("create");
+        let a = storage.store(chunk(7, 800));
+        storage.store(chunk(8, 800)); // spills `a`
+                                      // Drop the page cache so the fault is genuinely cold.
+        lock(&storage.inner).pool.clear_cache().expect("clear");
+        let (_, cold_first) = storage.fetch(a);
+        assert!(cold_first > 0, "a spilled chunk must fault pages in");
+        // The faulted chunk's pages are pinned: an immediate repeat needs
+        // no (or strictly fewer) physical reads.
+        let (_, cold_again) = storage.fetch(a);
+        assert!(cold_again < cold_first, "pinned pages must serve the repeat warm");
+    }
+
+    #[test]
+    fn resident_bytes_shrink_as_chunks_spill() {
+        let storage = PagedStorage::create(tmp("bytes.db"), 16, 2).expect("create");
+        for s in 0..5 {
+            storage.store(chunk(s, 400));
+        }
+        let two_chunks = 2 * chunk(0, 400).heap_bytes();
+        assert!(storage.resident_bytes() <= two_chunks);
+        let all = MemoryStorage::new();
+        for s in 0..5 {
+            all.store(chunk(s, 400));
+        }
+        assert!(storage.resident_bytes() < all.resident_bytes());
+    }
+}

@@ -19,6 +19,12 @@
 //! historical queries fan out across the shards through the persistent
 //! worker pool: streaming and sharding are one system instead of two
 //! parallel implementations.
+//!
+//! Since PR 6 the monitor also stopped keeping its own duplicate copy of
+//! the history: the engine's shards (behind the tiered
+//! [`ShardStorage`](crate::ShardStorage) backend) are the single resident
+//! copy, and the contiguous view the `τ > max_tau` scan fallback needs is
+//! a lazily materialized, incrementally topped-up cache.
 
 use crate::algorithms::{s_hop, t_hop, RefillMode};
 use crate::context::QueryContext;
@@ -71,15 +77,25 @@ const DEFAULT_MAX_TAU: Time = 4_096;
 
 /// An online durable top-k engine over an append-only record stream.
 ///
-/// A facade over the live [`ShardedEngine`]: the monitor keeps the full
-/// history (for presentation and as the fallback substrate) while the
-/// engine shards it incrementally. The monitor owns a [`QueryContext`] and
-/// a result buffer, so the per-arrival classification probe of
-/// [`push`](StreamingMonitor::push) allocates nothing once warm.
+/// A facade over the live [`ShardedEngine`]. The engine's shards (and
+/// their storage backend) are the *only* permanent copy of the records —
+/// the monitor no longer duplicates the history alongside them. The
+/// contiguous view the `τ > max_tau` scan fallback needs is a lazily
+/// materialized cache ([`history`](StreamingMonitor::history)), rebuilt
+/// from the shards on demand and topped up incrementally as the stream
+/// grows. The monitor owns a [`QueryContext`] and a result buffer, so the
+/// per-arrival classification probe of [`push`](StreamingMonitor::push)
+/// allocates nothing once warm.
+///
+/// The interior cache makes the monitor single-threaded (`!Sync`); the
+/// sharded engine underneath remains the concurrent substrate.
 #[derive(Debug)]
 pub struct StreamingMonitor {
-    ds: Dataset,
     engine: ShardedEngine,
+    /// Lazy contiguous view of the full history (attribute rows by global
+    /// id), extended from the engine's shards on demand. Only the scan
+    /// fallback reads it; bounded-τ traffic never materializes it.
+    history: RefCell<Dataset>,
     ctx: QueryContext,
     probe: TopKResult,
 }
@@ -103,36 +119,50 @@ impl StreamingMonitor {
     /// Panics if any parameter is zero.
     pub fn with_bounds(dim: usize, leaf_size: usize, shard_span: usize, max_tau: Time) -> Self {
         Self {
-            ds: Dataset::new(dim),
             engine: ShardedEngine::new_live_with_leaf(dim, shard_span, max_tau, leaf_size),
+            history: RefCell::new(Dataset::new(dim)),
             ctx: QueryContext::new(),
             probe: TopKResult::empty(),
         }
     }
 
-    /// Bootstraps the monitor from existing history.
+    /// Bootstraps the monitor from existing history. The given dataset
+    /// seeds the history cache directly (preserving any wall-clock
+    /// column), so no copy is rebuilt from the shards later.
     pub fn from_history(ds: Dataset, leaf_size: usize) -> Self {
         let mut monitor = Self::new(ds.dim(), leaf_size);
         for id in 0..ds.len() {
             monitor.engine.append(ds.row(id as RecordId));
         }
-        monitor.ds = ds;
+        *monitor.history.borrow_mut() = ds;
         monitor
     }
 
     /// Records ingested so far.
     pub fn len(&self) -> usize {
-        self.ds.len()
+        self.engine.len()
     }
 
     /// Whether no record was ingested.
     pub fn is_empty(&self) -> bool {
-        self.ds.is_empty()
+        self.engine.is_empty()
     }
 
-    /// The accumulated history.
-    pub fn dataset(&self) -> &Dataset {
-        &self.ds
+    /// A contiguous view of the full ingested history (attribute rows by
+    /// global arrival id), materialized lazily: the first call copies the
+    /// rows out of the engine's shards (faulting any spilled chunks in
+    /// through the storage backend), later calls only top up the records
+    /// that arrived since. Rows pushed via [`push`](StreamingMonitor::push)
+    /// carry no wall-clock stamps in this view.
+    pub fn history(&self) -> std::cell::Ref<'_, Dataset> {
+        {
+            let mut h = self.history.borrow_mut();
+            let from = h.len();
+            if from < self.engine.len() {
+                self.engine.copy_history_into(&mut h, from);
+            }
+        }
+        self.history.borrow()
     }
 
     /// The backing live sharded engine (shard counts, direct queries).
@@ -166,8 +196,7 @@ impl StreamingMonitor {
         tau: Time,
     ) -> bool {
         assert!(k > 0, "k must be positive");
-        let id = self.ds.push(attrs);
-        self.engine.append(attrs);
+        let id = self.engine.append(attrs);
         self.engine.top_k_into(
             scorer,
             k,
@@ -210,12 +239,13 @@ impl StreamingMonitor {
                 self.engine.query(Algorithm::THop, scorer, query)
             };
         }
+        let history = self.history();
         let oracle = EngineOracle { engine: &self.engine, ctx: RefCell::new(QueryContext::new()) };
         let mut ctx = QueryContext::new();
         let mut result = if score_prioritized {
-            s_hop(&self.ds, &oracle, scorer, query, RefillMode::TopK, &mut ctx)
+            s_hop(&history, &oracle, scorer, query, RefillMode::TopK, &mut ctx)
         } else {
-            t_hop(&self.ds, &oracle, scorer, query, &mut ctx)
+            t_hop(&history, &oracle, scorer, query, &mut ctx)
         };
         result.stats.fallback = Some(FallbackReason::TauBeyondOverlap);
         result
@@ -229,10 +259,10 @@ impl StreamingMonitor {
         k: usize,
         tau: Time,
     ) -> Vec<RecordId> {
-        if self.ds.is_empty() {
+        if self.engine.is_empty() {
             return Vec::new();
         }
-        let t = (self.ds.len() - 1) as Time;
+        let t = (self.engine.len() - 1) as Time;
         self.top_k(scorer, k, Window::lookback(t, tau))
             .items
             .into_iter()
@@ -262,7 +292,7 @@ mod tests {
             }
         }
         // Offline: which records were durable at their own arrival?
-        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        let engine = DurableTopKEngine::new(monitor.history().clone());
         let q = DurableQuery { k, tau, interval: Window::new(0, 299) };
         let offline = engine.query(Algorithm::THop, &scorer, &q);
         assert_eq!(online, offline.records);
@@ -284,7 +314,7 @@ mod tests {
             }
         }
         assert!(monitor.engine().sealed_shards() > 5, "bounds must force seals");
-        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        let engine = DurableTopKEngine::new(monitor.history().clone());
         let q = DurableQuery { k, tau, interval: Window::new(0, 199) };
         assert_eq!(online, engine.query(Algorithm::THop, &scorer, &q).records);
         assert_eq!(monitor.query(&scorer, &q, false).records, online);
@@ -300,7 +330,7 @@ mod tests {
         let q = DurableQuery { k: 2, tau: 25, interval: Window::new(50, 199) };
         let via_engine = monitor.query(&scorer, &q, false);
         let via_engine_shop = monitor.query(&scorer, &q, true);
-        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        let engine = DurableTopKEngine::new(monitor.history().clone());
         let reference = engine.query(Algorithm::TBase, &scorer, &q);
         assert_eq!(via_engine.records, reference.records);
         assert_eq!(via_engine_shop.records, reference.records);
@@ -322,7 +352,7 @@ mod tests {
             "tau 50 > max_tau 16 must be flagged as the expected overlap miss"
         );
         assert!(got.stats.fallback.expect("set").is_expected());
-        let engine = DurableTopKEngine::new(monitor.dataset().clone());
+        let engine = DurableTopKEngine::new(monitor.history().clone());
         assert_eq!(got.records, engine.query(Algorithm::THop, &scorer, &q).records);
         let shop = monitor.query(&scorer, &q, true);
         assert_eq!(shop.records, got.records);
@@ -338,6 +368,40 @@ mod tests {
         assert!(monitor.push(&[100.0], &scorer, 1, 30));
         // A low value is not.
         assert!(!monitor.push(&[-1.0], &scorer, 1, 30));
+    }
+
+    #[test]
+    fn scan_fallback_survives_without_a_duplicate_history() {
+        // Regression guard for the PR 6 dedup: the monitor no longer keeps
+        // its own copy of every record, so the τ > max_tau scan fallback
+        // must reconstruct the history from the shards — across sealed
+        // tails, in-flight seals and the mutable head — and keep the cache
+        // consistent as the stream grows between fallback queries.
+        let mut monitor = StreamingMonitor::with_bounds(2, 4, 16, 8);
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let row = |i: u32| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
+        for i in 0..100u32 {
+            monitor.push(&row(i), &scorer, 1, 4);
+        }
+        // First fallback: materializes the cache from the shards.
+        let q1 = DurableQuery { k: 2, tau: 40, interval: Window::new(0, 99) };
+        let got1 = monitor.query(&scorer, &q1, false);
+        assert_eq!(got1.stats.fallback, Some(FallbackReason::TauBeyondOverlap));
+        let flat1 = DurableTopKEngine::new(monitor.history().clone());
+        assert_eq!(got1.records, flat1.query(Algorithm::THop, &scorer, &q1).records);
+        // Keep streaming, then fall back again: the cache tops up with
+        // exactly the new arrivals (no stale or duplicated rows).
+        for i in 100..150u32 {
+            monitor.push(&row(i), &scorer, 1, 4);
+        }
+        let q2 = DurableQuery { k: 2, tau: 40, interval: Window::new(0, 149) };
+        let got2 = monitor.query(&scorer, &q2, true);
+        assert_eq!(got2.stats.fallback, Some(FallbackReason::TauBeyondOverlap));
+        assert_eq!(monitor.history().len(), 150);
+        let expected = Dataset::from_rows(2, (0..150).map(row));
+        assert_eq!(monitor.history().raw_attrs(), expected.raw_attrs());
+        let flat2 = DurableTopKEngine::new(expected);
+        assert_eq!(got2.records, flat2.query(Algorithm::SHop, &scorer, &q2).records);
     }
 
     #[test]

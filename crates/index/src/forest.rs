@@ -138,6 +138,14 @@ impl AppendableTopKIndex {
         &self.counters
     }
 
+    /// Heap bytes held by the forest's trees (see
+    /// [`SkylineSegTree::heap_bytes`]) — resident-set accounting for the
+    /// storage-tier bench. The incremental skyband maintainer is excluded:
+    /// it is duration bookkeeping, not record storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.trees.iter().map(SkylineSegTree::heap_bytes).sum()
+    }
+
     /// Indexes the most recently appended record of `ds`.
     ///
     /// # Panics

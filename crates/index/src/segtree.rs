@@ -440,6 +440,22 @@ impl SkylineSegTree {
         &self.counters
     }
 
+    /// Heap bytes held by the tree: the node array plus every node's
+    /// skyline and per-dimension bound vectors (capacities, not lengths).
+    /// Resident-set accounting for the storage-tier bench.
+    pub fn heap_bytes(&self) -> usize {
+        let summaries: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.summary.skyline.capacity() * std::mem::size_of::<RecordId>()
+                    + (n.summary.dim_max.capacity() + n.summary.dim_min.capacity())
+                        * std::mem::size_of::<f64>()
+            })
+            .sum();
+        self.nodes.capacity() * std::mem::size_of::<TreeNode>() + summaries
+    }
+
     /// Answers `Q(u, k, W)`: the top-k records (with ties) in the window.
     ///
     /// Convenience wrapper over [`top_k_with`](SkylineSegTree::top_k_with)

@@ -1,0 +1,181 @@
+//! Page-aligned (de)serialization of sealed record chunks.
+//!
+//! The tiered shard storage of the core crate spills a sealed tail's record
+//! chunk — one immutable [`Dataset`] covering the shard's extended time
+//! range — to pager-backed pages and faults it back in on demand. This
+//! module defines that on-page format:
+//!
+//! ```text
+//! page k:   magic u64 | records u64 | dim u64 | wall-clock flag u64
+//!           attrs: records × dim × f64, row-major, little-endian
+//!           wall-clock column: records × i64 (only when flagged)
+//! ```
+//!
+//! Every chunk starts on a page boundary so chunks can be pinned, evicted
+//! and read back independently. All scalars are fixed-width little-endian;
+//! `f64` values travel through [`f64::to_le_bytes`]/[`f64::from_le_bytes`],
+//! so a spill/reload roundtrip is **bit-identical** — the exactness
+//! contract the storage-equivalence proptests pin down.
+
+use crate::pager::{BufferPool, PageId, PAGE_SIZE};
+use durable_topk_temporal::Dataset;
+use std::io;
+
+/// Format tag guarding against reading a foreign page range as a chunk.
+const CHUNK_MAGIC: u64 = 0x00D7_C40C_2021_0006;
+
+/// Bytes of the fixed chunk header (magic, record count, dim, wall-clock
+/// flag).
+const HEADER_BYTES: usize = 32;
+
+/// Serialized size of a chunk in bytes (header + payload).
+fn chunk_byte_len(records: usize, dim: usize, wall_clock: bool) -> u64 {
+    let attrs = (records * dim * std::mem::size_of::<f64>()) as u64;
+    let wc = if wall_clock { (records * std::mem::size_of::<i64>()) as u64 } else { 0 };
+    HEADER_BYTES as u64 + attrs + wc
+}
+
+/// Number of pages a serialized `ds` occupies (chunks are page-aligned, so
+/// this is also the allocation granularity of the chunk directory).
+pub fn chunk_page_len(ds: &Dataset) -> u64 {
+    chunk_byte_len(ds.len(), ds.dim(), ds.raw_wall_clock().is_some())
+        .div_ceil(PAGE_SIZE as u64)
+        .max(1)
+}
+
+/// Serializes `ds` starting at the first byte of `first_page`, returning
+/// the number of pages written (= [`chunk_page_len`]).
+///
+/// The write goes through the buffer pool: pages land in cache frames and
+/// reach the file on eviction or flush, so an immediately following read is
+/// warm.
+pub fn write_chunk(pool: &mut BufferPool, first_page: PageId, ds: &Dataset) -> io::Result<u64> {
+    let wall_clock = ds.raw_wall_clock();
+    let mut buf =
+        Vec::with_capacity(chunk_byte_len(ds.len(), ds.dim(), wall_clock.is_some()) as usize);
+    buf.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(ds.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(ds.dim() as u64).to_le_bytes());
+    buf.extend_from_slice(&u64::from(wall_clock.is_some()).to_le_bytes());
+    for &x in ds.raw_attrs() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    if let Some(wc) = wall_clock {
+        for &t in wc {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+    pool.write_bytes(first_page * PAGE_SIZE as u64, &buf)?;
+    Ok(chunk_page_len(ds))
+}
+
+/// Reads back a chunk previously written by [`write_chunk`] at
+/// `first_page`. The reload is bit-identical to the dataset that was
+/// spilled.
+pub fn read_chunk(pool: &mut BufferPool, first_page: PageId) -> io::Result<Dataset> {
+    let base = first_page * PAGE_SIZE as u64;
+    let mut header = [0u8; HEADER_BYTES];
+    pool.read_bytes(base, &mut header)?;
+    let word =
+        |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    if word(0) != CHUNK_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a record chunk"));
+    }
+    let records = word(1) as usize;
+    let dim = word(2) as usize;
+    let has_wc = word(3) != 0;
+    if dim == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "chunk with zero dim"));
+    }
+
+    let mut bytes = vec![0u8; records * dim * std::mem::size_of::<f64>()];
+    pool.read_bytes(base + HEADER_BYTES as u64, &mut bytes)?;
+    let attrs: Vec<f64> =
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
+
+    let wall_clock = if has_wc {
+        let mut wc_bytes = vec![0u8; records * std::mem::size_of::<i64>()];
+        pool.read_bytes(base + HEADER_BYTES as u64 + bytes.len() as u64, &mut wc_bytes)?;
+        Some(
+            wc_bytes
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    Ok(Dataset::from_raw_parts(dim, attrs, wall_clock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("durable-topk-chunk-tests");
+        std::fs::create_dir_all(&dir).expect("mk tmpdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_including_awkward_floats() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[0.1 + 0.2, -0.0, f64::MIN_POSITIVE]);
+        ds.push(&[1e300, -1e-300, 42.0]);
+        let mut pool = BufferPool::create(tmp("exact.db"), 4).expect("create");
+        let pages = write_chunk(&mut pool, 0, &ds).expect("write");
+        assert_eq!(pages, 1);
+        let back = read_chunk(&mut pool, 0).expect("read");
+        assert_eq!(back.dim(), 3);
+        // Bit-level comparison, not numeric: -0.0 must stay -0.0.
+        let bits = |d: &Dataset| d.raw_attrs().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&ds));
+    }
+
+    #[test]
+    fn multi_page_chunks_roundtrip_after_a_cold_restart() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<[f64; 4]> =
+            (0..2_000).map(|_| std::array::from_fn(|_| rng.random())).collect();
+        let ds = Dataset::from_rows(4, rows);
+        let mut pool = BufferPool::create(tmp("multi.db"), 3).expect("create");
+        let pages = write_chunk(&mut pool, 2, &ds).expect("write");
+        assert!(pages > 1, "2000×4 f64 rows must span pages");
+        assert_eq!(pages, chunk_page_len(&ds));
+        pool.clear_cache().expect("cold");
+        let back = read_chunk(&mut pool, 2).expect("read");
+        assert_eq!(back.raw_attrs(), ds.raw_attrs());
+    }
+
+    #[test]
+    fn wall_clock_column_is_preserved() {
+        let mut ds = Dataset::new(1);
+        ds.push_with_wall_clock(&[5.0], -123);
+        ds.push_with_wall_clock(&[6.0], i64::MAX);
+        let mut pool = BufferPool::create(tmp("wc.db"), 4).expect("create");
+        write_chunk(&mut pool, 0, &ds).expect("write");
+        let back = read_chunk(&mut pool, 0).expect("read");
+        assert_eq!(back.wall_clock(0), Some(-123));
+        assert_eq!(back.wall_clock(1), Some(i64::MAX));
+    }
+
+    #[test]
+    fn adjacent_chunks_do_not_interfere() {
+        let a = Dataset::from_rows(2, (0..700).map(|i| [i as f64, -(i as f64)]));
+        let b = Dataset::from_rows(2, (0..5).map(|i| [100.0 + i as f64, 0.5]));
+        let mut pool = BufferPool::create(tmp("adjacent.db"), 4).expect("create");
+        let pages_a = write_chunk(&mut pool, 0, &a).expect("write a");
+        write_chunk(&mut pool, pages_a, &b).expect("write b");
+        assert_eq!(read_chunk(&mut pool, 0).expect("a").raw_attrs(), a.raw_attrs());
+        assert_eq!(read_chunk(&mut pool, pages_a).expect("b").raw_attrs(), b.raw_attrs());
+    }
+
+    #[test]
+    fn foreign_pages_are_rejected() {
+        let mut pool = BufferPool::create(tmp("foreign.db"), 4).expect("create");
+        pool.write_bytes(0, &[0xAB; 64]).expect("write");
+        assert!(read_chunk(&mut pool, 0).is_err());
+    }
+}

@@ -21,12 +21,21 @@
 //! The experimental claim this substrate preserves: T-Base pays page I/O
 //! linear in `|I|`, while T-Hop touches only the pages needed for
 //! `O(|S| + k⌈|I|/τ⌉)` top-k probes — a >100× gap at scale (Table VI).
+//!
+//! Since PR 6 the same pager also backs the core crate's tiered shard
+//! storage: [`chunk`] serializes sealed record chunks page-aligned (bit
+//! identical on reload), and the pool's pinning API keeps a faulted
+//! chunk's pages warm against eviction.
 
+#![warn(missing_docs)]
+
+pub mod chunk;
 pub mod pager;
 pub mod procedures;
 pub mod relation;
 pub mod table;
 
+pub use chunk::{chunk_page_len, read_chunk, write_chunk};
 pub use pager::{BufferPool, IoStats, PAGE_SIZE};
 pub use procedures::{t_base_proc, t_hop_proc, ProcStats};
 pub use relation::RelStore;

@@ -30,6 +30,8 @@ struct Frame {
     data: Box<[u8]>,
     last_used: u64,
     dirty: bool,
+    /// Pinned frames are exempt from LRU eviction until unpinned.
+    pinned: bool,
 }
 
 /// An LRU buffer pool over one backing file.
@@ -101,12 +103,39 @@ impl BufferPool {
     }
 
     /// Drops every cached page (dirty pages are flushed first), simulating a
-    /// cold cache.
+    /// cold cache. Pins are released: a cleared pool starts from nothing.
     pub fn clear_cache(&mut self) -> io::Result<()> {
         self.flush()?;
         self.frames.clear();
         self.map.clear();
         Ok(())
+    }
+
+    /// Pins `page` in the pool: the page is faulted in if absent and its
+    /// frame is exempt from LRU eviction until [`unpin`](BufferPool::unpin)
+    /// (or [`clear_cache`](BufferPool::clear_cache)) releases it.
+    ///
+    /// Callers keeping a working set warm (e.g. a spilled chunk that a
+    /// query just faulted back in) pin well below the pool capacity;
+    /// requesting a new page while every frame is pinned is an error.
+    pub fn pin(&mut self, page: PageId) -> io::Result<()> {
+        let idx = self.frame_for(page)?;
+        self.frames[idx].pinned = true;
+        Ok(())
+    }
+
+    /// Releases a pin taken by [`pin`](BufferPool::pin). A no-op if the
+    /// page is not cached (it may have been dropped by
+    /// [`clear_cache`](BufferPool::clear_cache)) or not pinned.
+    pub fn unpin(&mut self, page: PageId) {
+        if let Some(&idx) = self.map.get(&page) {
+            self.frames[idx].pinned = false;
+        }
+    }
+
+    /// Number of currently pinned frames.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.pinned).count()
     }
 
     fn frame_for(&mut self, page: PageId) -> io::Result<usize> {
@@ -126,17 +155,26 @@ impl BufferPool {
             read_full_at(&self.file, &mut data, offset)?;
         }
         let idx = if self.frames.len() < self.capacity {
-            self.frames.push(Frame { page, data, last_used: self.tick, dirty: false });
+            self.frames.push(Frame {
+                page,
+                data,
+                last_used: self.tick,
+                dirty: false,
+                pinned: false,
+            });
             self.frames.len() - 1
         } else {
-            // Evict the least-recently-used frame.
+            // Evict the least-recently-used unpinned frame.
             let idx = self
                 .frames
                 .iter()
                 .enumerate()
+                .filter(|(_, f)| !f.pinned)
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .expect("capacity > 0");
+                .ok_or_else(|| {
+                    io::Error::other("every buffer-pool frame is pinned; cannot evict")
+                })?;
             let old = &mut self.frames[idx];
             if old.dirty {
                 self.stats.writes += 1;
@@ -282,6 +320,45 @@ mod tests {
         pool.read_bytes(3 * PAGE_SIZE as u64 + 5, &mut buf).expect("read");
         assert_eq!(&buf, b"persisted");
         assert_eq!(pool.len_pages(), 4);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let mut pool = BufferPool::create(tmp("pin.db"), 2).expect("create");
+        pool.write_bytes(0, &[7u8; 16]).expect("write");
+        pool.pin(0).expect("pin");
+        // Stream enough pages through the remaining frame to evict page 0
+        // many times over, were it evictable.
+        for p in 1..10u64 {
+            pool.write_bytes(p * PAGE_SIZE as u64, &[p as u8; 16]).expect("write");
+        }
+        assert_eq!(pool.pinned_frames(), 1);
+        pool.reset_stats();
+        let mut buf = [0u8; 16];
+        pool.read_bytes(0, &mut buf).expect("read");
+        assert_eq!(buf, [7u8; 16]);
+        assert_eq!(pool.stats().reads, 0, "a pinned page is always a cache hit");
+        pool.unpin(0);
+        assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn fully_pinned_pool_rejects_new_pages() {
+        let mut pool = BufferPool::create(tmp("pin-full.db"), 1).expect("create");
+        pool.pin(0).expect("pin");
+        let mut buf = [0u8; 4];
+        assert!(pool.read_bytes(PAGE_SIZE as u64, &mut buf).is_err());
+        pool.unpin(0);
+        assert!(pool.read_bytes(PAGE_SIZE as u64, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn unpin_of_uncached_page_is_a_noop() {
+        let mut pool = BufferPool::create(tmp("pin-gone.db"), 2).expect("create");
+        pool.pin(3).expect("pin");
+        pool.clear_cache().expect("clear");
+        pool.unpin(3);
+        assert_eq!(pool.pinned_frames(), 0);
     }
 
     #[test]

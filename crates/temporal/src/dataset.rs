@@ -254,6 +254,38 @@ impl Dataset {
     pub fn raw_attrs(&self) -> &[f64] {
         &self.attrs
     }
+
+    /// The raw wall-clock column, if present (for bulk serialization by the
+    /// store substrate).
+    pub fn raw_wall_clock(&self) -> Option<&[i64]> {
+        self.wall_clock.as_deref()
+    }
+
+    /// Reassembles a dataset from raw parts — the inverse of
+    /// [`raw_attrs`](Dataset::raw_attrs) /
+    /// [`raw_wall_clock`](Dataset::raw_wall_clock), used by the store
+    /// substrate's chunk deserialization. No value is inspected or
+    /// converted, so a serialize/deserialize roundtrip is bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `attrs.len()` is not a multiple of `dim`, or a
+    /// wall-clock column's length differs from the record count.
+    pub fn from_raw_parts(dim: usize, attrs: Vec<f64>, wall_clock: Option<Vec<i64>>) -> Self {
+        assert!(dim > 0, "datasets must have at least one attribute");
+        assert!(attrs.len() % dim == 0, "attribute storage must hold whole rows");
+        if let Some(wc) = &wall_clock {
+            assert_eq!(wc.len(), attrs.len() / dim, "wall-clock column length mismatch");
+        }
+        Self { dim, attrs, wall_clock }
+    }
+
+    /// Heap bytes held by the attribute and wall-clock storage (capacity,
+    /// not just length) — the resident-set accounting the storage bench
+    /// reports chunk-deduplication savings with.
+    pub fn heap_bytes(&self) -> usize {
+        self.attrs.capacity() * std::mem::size_of::<f64>()
+            + self.wall_clock.as_ref().map_or(0, |wc| wc.capacity() * std::mem::size_of::<i64>())
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +362,27 @@ mod tests {
         let ds = sample();
         let got: Vec<_> = ds.iter_window(Window::new(2, 9)).map(|r| r.t).collect();
         assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_bit_identical() {
+        let mut ds = Dataset::new(2);
+        ds.push(&[1.5, -0.0]);
+        ds.push_with_wall_clock(&[f64::MIN_POSITIVE, 3.25], 7);
+        let back = Dataset::from_raw_parts(
+            ds.dim(),
+            ds.raw_attrs().to_vec(),
+            ds.raw_wall_clock().map(<[i64]>::to_vec),
+        );
+        assert_eq!(back.raw_attrs(), ds.raw_attrs());
+        assert_eq!(back.wall_clock(1), Some(7));
+        assert!(back.heap_bytes() >= 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn from_raw_parts_rejects_ragged_storage() {
+        Dataset::from_raw_parts(2, vec![1.0, 2.0, 3.0], None);
     }
 
     #[test]
