@@ -173,6 +173,10 @@ pub struct ServeMode {
     /// the clients run (`--ingest`; `None` defaults to a tenth of the
     /// file).
     pub ingest: Option<usize>,
+    /// Standing subscriptions registered before the client storm and kept
+    /// current incrementally from the live appends (`--subscribe`,
+    /// default 0).
+    pub subscribe: usize,
 }
 
 /// Parses and validates the `serve` subcommand flags.
@@ -198,7 +202,11 @@ pub fn parse_serve(args: &Args) -> Result<ServeMode, String> {
         None => None,
         Some(v) => Some(v.parse::<usize>().map_err(|_| format!("--ingest: cannot parse {v:?}"))?),
     };
-    Ok(ServeMode { clients, requests, queue_cap, reject: args.has("reject"), ingest })
+    let subscribe: usize = args.parse_or("subscribe", 0)?;
+    if subscribe > 10_000 {
+        return Err(format!("--subscribe must be at most 10000, got {subscribe}"));
+    }
+    Ok(ServeMode { clients, requests, queue_cap, reject: args.has("reject"), ingest, subscribe })
 }
 
 /// Storage backend of a live sharded engine (`--storage`, `--spill-after`).
@@ -318,10 +326,18 @@ mod tests {
         let m = parse_serve(&parse("serve f.csv")).expect("defaults");
         assert_eq!(
             m,
-            ServeMode { clients: 4, requests: 400, queue_cap: 256, reject: false, ingest: None }
+            ServeMode {
+                clients: 4,
+                requests: 400,
+                queue_cap: 256,
+                reject: false,
+                ingest: None,
+                subscribe: 0
+            }
         );
         let m = parse_serve(&parse(
-            "serve f.csv --clients 8 --requests 1000 --queue-cap 32 --reject --ingest 500",
+            "serve f.csv --clients 8 --requests 1000 --queue-cap 32 --reject --ingest 500 \
+             --subscribe 6",
         ))
         .expect("explicit");
         assert_eq!(
@@ -331,13 +347,16 @@ mod tests {
                 requests: 1000,
                 queue_cap: 32,
                 reject: true,
-                ingest: Some(500)
+                ingest: Some(500),
+                subscribe: 6
             }
         );
         assert!(parse_serve(&parse("serve f.csv --clients 0")).is_err());
         assert!(parse_serve(&parse("serve f.csv --requests 0")).is_err());
         assert!(parse_serve(&parse("serve f.csv --queue-cap 0")).is_err());
         assert!(parse_serve(&parse("serve f.csv --ingest lots")).is_err());
+        assert!(parse_serve(&parse("serve f.csv --subscribe many")).is_err());
+        assert!(parse_serve(&parse("serve f.csv --subscribe 20000")).is_err());
         let err = parse_serve(&parse("serve f.csv --threads 4")).expect_err("threads conflicts");
         assert!(err.contains("--threads"), "err={err}");
         let err = parse_serve(&parse("serve f.csv --stream")).expect_err("stream conflicts");

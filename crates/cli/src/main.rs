@@ -39,7 +39,7 @@ USAGE:
                              [--storage memory|paged] [--spill-after N]
   durable-topk serve    FILE --k K --tau T [--weights ..] [--alg ..]
                              [--clients C] [--requests R] [--queue-cap Q]
-                             [--reject] [--ingest M]
+                             [--reject] [--ingest M] [--subscribe S]
                              [--storage memory|paged] [--spill-after N]
 
 Records are rows in arrival order; an optional header row names columns and
@@ -55,7 +55,10 @@ requests total (parameters varied around --k/--tau, algorithms cycled)
 while the last M records (default: a tenth of the file) are ingested
 live; --reject sheds load when the queue is full instead of blocking, and
 a sample of the served answers is re-checked against the engine before
-the summary prints throughput and p50/p99 latency. --storage selects the
+the summary prints throughput and p50/p99 latency. --subscribe registers
+S standing queries before the client storm; the live appends keep their
+materialized answer sets current incrementally and each is verified
+against a full recompute at the end. --storage selects the
 sealed-shard backend for the live modes (--stream and serve): `memory`
 (default) keeps every sealed chunk resident; `paged` spills chunks beyond
 the newest --spill-after (default 4) to pager-backed pages in a temporary
@@ -459,6 +462,29 @@ fn serve(args: &Args) -> Result<(), String> {
         if mode.reject { "reject when full" } else { "block when full" },
     );
 
+    // Standing queries: registered before the storm, kept current by the
+    // live appends, verified against full recomputes at every shard seal
+    // and re-checked against the quiesced engine at the end.
+    let mut subs = Vec::new();
+    for s in 0..mode.subscribe {
+        let req = ServeRequest {
+            alg: Algorithm::THop,
+            query: DurableQuery {
+                k: 1 + s % k,
+                tau: 1 + (s as u32).wrapping_mul(13) % tau,
+                interval: Window::new((s as u32).wrapping_mul(97) % (base as u32), u32::MAX),
+            },
+            scorer: spec.clone(),
+        };
+        let id = serving
+            .subscribe_verified(req.clone())
+            .map_err(|e| format!("subscription {s} rejected: {e}"))?;
+        subs.push((id, req));
+    }
+    if mode.subscribe > 0 {
+        eprintln!("registered {} standing subscriptions", mode.subscribe);
+    }
+
     // `appended` publishes how many records are safely queryable: queries
     // only look backwards, so any interval ending before this watermark
     // gets the same answer no matter how far ingestion has advanced.
@@ -540,6 +566,7 @@ fn serve(args: &Args) -> Result<(), String> {
     // Exactness spot-check: served answers must match direct queries
     // against the (now quiesced) engine — the ingestion race never shows.
     serving.quiesce();
+    serving.subscription_sync();
     let engine = serving.engine();
     for (req, records) in &samples {
         let direct = engine
@@ -549,6 +576,29 @@ fn serve(args: &Args) -> Result<(), String> {
             return Err(format!(
                 "served answer diverged from the engine for {req:?}: {} vs {} records",
                 records.len(),
+                direct.records.len()
+            ));
+        }
+    }
+    // Every standing subscription must now hold exactly what a full
+    // recompute over its interval yields — no drift allowed.
+    for (sid, req) in &subs {
+        let snap = serving.poll_subscription(*sid).ok_or("registered subscription disappeared")?;
+        if snap.diverged {
+            return Err(format!("subscription {sid:?} diverged from its seal verification"));
+        }
+        let full = DurableQuery {
+            k: req.query.k,
+            tau: req.query.tau,
+            interval: Window::new(req.query.interval.start(), (n - 1) as u32),
+        };
+        let direct = engine
+            .try_query(req.alg, &scorer, &full)
+            .map_err(|e| format!("subscription recompute failed: {e}"))?;
+        if snap.records != direct.records {
+            return Err(format!(
+                "subscription {sid:?} diverged from recompute: {} vs {} records",
+                snap.records.len(),
                 direct.records.len()
             ));
         }
@@ -563,21 +613,27 @@ fn serve(args: &Args) -> Result<(), String> {
     // went missing somewhere on the ingestion timeline.
     println!(
         "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected, \
-         fallbacks={fallbacks}, cold-page-hits={}",
+         fallbacks={fallbacks}, cold-page-hits={}, subs={} refreshes={} fast-path-skips={} \
+         full-recomputes={}",
         stats.completed,
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
         samples.len(),
         rejected,
         stats.cold_page_hits,
+        stats.subscriptions,
+        stats.refreshes,
+        stats.fast_path_skips,
+        stats.full_recomputes,
     );
     println!(
         "latency p50={:.2?} p99={:.2?} max={:.2?}; queue high-water {} of {}; \
-         avg queued {:.2?}, avg service {:.2?}",
+         refresh high-water {}; avg queued {:.2?}, avg service {:.2?}",
         percentile(&sorted, 0.50),
         percentile(&sorted, 0.99),
         sorted.last().copied().unwrap_or_default(),
         stats.max_depth,
         mode.queue_cap,
+        stats.max_refresh_inflight,
         stats.total_queued.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
         stats.total_service.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
     );

@@ -52,6 +52,7 @@ pub mod serve;
 pub mod sharded;
 pub mod storage;
 pub mod streaming;
+pub mod subscribe;
 mod sync;
 
 pub use batch::{batch_query, BatchExecutor};
@@ -68,6 +69,7 @@ pub use serve::{
 pub use sharded::{SealMode, ShardedEngine};
 pub use storage::{ChunkId, MemoryStorage, PagedStorage, ShardStorage, StorageStats};
 pub use streaming::StreamingMonitor;
+pub use subscribe::{SubscriptionId, SubscriptionSnapshot, SubscriptionTotals};
 
 // Re-export the vocabulary types callers need.
 pub use durable_topk_index::{

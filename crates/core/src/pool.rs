@@ -35,6 +35,13 @@ use std::thread::JoinHandle;
 /// before and after a query storm and asserts it stayed flat.
 static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 
+/// Detached jobs accepted by every pool in this process, cumulatively.
+///
+/// The companion guard to [`THREADS_SPAWNED`]: background work
+/// (shard seals, serving requests, subscription refreshes) must show up
+/// here — as pool jobs — rather than as spawned threads.
+static DETACHED_JOBS: AtomicU64 = AtomicU64::new(0);
+
 /// One batch's work, type-erased. The object lives on the submitting
 /// thread's stack; the pool only dereferences it under the visitor
 /// protocol of [`Batch`].
@@ -338,9 +345,23 @@ impl WorkerPool {
     /// job — the caller should then run it inline.
     pub fn submit(&self, job: impl FnOnce(&mut QueryContext) + Send + 'static) -> bool {
         match &self.injector {
-            Some(tx) => tx.send(Token::Detached(Box::new(job))).is_ok(),
+            Some(tx) => {
+                let accepted = tx.send(Token::Detached(Box::new(job))).is_ok();
+                if accepted {
+                    DETACHED_JOBS.fetch_add(1, Ordering::Relaxed);
+                }
+                accepted
+            }
             None => false,
         }
+    }
+
+    /// Cumulative detached jobs accepted by every pool in this process.
+    ///
+    /// Tests assert this *grows* where [`WorkerPool::threads_spawned`]
+    /// stays flat: background work rides the pool instead of new threads.
+    pub fn detached_jobs() -> u64 {
+        DETACHED_JOBS.load(Ordering::Relaxed)
     }
 
     /// Borrows a spare context (or creates one on cold start).

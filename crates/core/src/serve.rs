@@ -28,18 +28,28 @@
 //!   underlying [`ShardedEngine`] under a write lock; head seals run as
 //!   background pool jobs, so appends stay short and queries served during
 //!   a pending seal remain exact.
+//! * **Standing queries** — [`subscribe`](ServeEngine::subscribe)
+//!   registers a request once; the append path keeps its materialized
+//!   answer set current incrementally (see [`crate::subscribe`]), with a
+//!   zero-change fast path for arrivals the head skyband proves
+//!   irrelevant. Refresh jobs ride the same pool as requests.
 //! * **Graceful shutdown** — [`shutdown`](ServeEngine::shutdown) stops
 //!   accepting, then drains: every already-queued request is still served
 //!   and its handle fulfilled.
 
+use crate::context::QueryContext;
 use crate::engine::Algorithm;
 use crate::error::QueryError;
 use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryStats};
 use crate::sharded::ShardedEngine;
+use crate::subscribe::{
+    with_scorer, RefreshPlan, SubscriptionId, SubscriptionRegistry, SubscriptionSnapshot,
+    SubscriptionTotals,
+};
 use crate::sync::{lock, OnceSlot};
-use durable_topk_index::OracleScorer;
-use durable_topk_temporal::{CosineScorer, LinearScorer, RecordId};
+use durable_topk_index::{OracleScorer, TopKResult};
+use durable_topk_temporal::RecordId;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -187,6 +197,7 @@ struct Counters {
     queue_ns: AtomicU64,
     service_ns: AtomicU64,
     cold_page_hits: AtomicU64,
+    max_refresh_inflight: AtomicU64,
 }
 
 /// A point-in-time snapshot of the serving counters.
@@ -213,6 +224,20 @@ pub struct ServeStats {
     /// [`MemoryStorage`](crate::MemoryStorage) — the cold-tier cost of a
     /// [`PagedStorage`](crate::PagedStorage) deployment).
     pub cold_page_hits: u64,
+    /// Standing subscriptions currently registered.
+    pub subscriptions: usize,
+    /// Bounded per-arrival subscription probes run so far.
+    pub refreshes: u64,
+    /// Appends (with subscriptions registered) that touched no
+    /// subscription — the zero-change fast path.
+    pub fast_path_skips: u64,
+    /// Full `try_query` recomputes run for subscriptions (registrations
+    /// plus seal-boundary verifications).
+    pub full_recomputes: u64,
+    /// High-water mark of concurrently in-flight refresh jobs — the
+    /// saturation signal of the subscription workload, mirroring
+    /// [`max_depth`](ServeStats::max_depth) for the request queue.
+    pub max_refresh_inflight: u64,
 }
 
 struct Shared {
@@ -226,6 +251,14 @@ struct Shared {
     capacity: usize,
     backpressure: Backpressure,
     counters: Counters,
+    /// Standing-query registry. Lock order: the engine lock (read or
+    /// write) is always acquired *before* this mutex, never after.
+    subs: Mutex<SubscriptionRegistry>,
+    /// Refresh jobs currently in flight (spawned but not finished).
+    refreshing: Mutex<usize>,
+    /// Signalled when `refreshing` reaches zero
+    /// ([`subscription_sync`](ServeEngine::subscription_sync) waits here).
+    refresh_idle: Condvar,
 }
 
 impl Shared {
@@ -284,6 +317,40 @@ impl Shared {
             self.idle.notify_all();
         }
     }
+
+    /// Executes one append's refresh plan: the bounded probe for every
+    /// affected subscription, then any seal-boundary verifications. Runs
+    /// on a pool worker (or inline when the pool is tearing down) with
+    /// the engine *read* lock — appends and queries proceed concurrently.
+    ///
+    /// Panic-safe at plan granularity: a scorer panic marks every planned
+    /// subscription diverged instead of killing the worker. Refresh jobs
+    /// may execute out of arrival order; that is sound because durability
+    /// is look-back only — each probe sees a history at least as long as
+    /// the one its arrival saw, and the admitted set is inserted
+    /// idempotently in id order.
+    fn run_refresh(&self, id: RecordId, attrs: &[f64], plan: &RefreshPlan, ctx: &mut QueryContext) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let engine = self.read_engine();
+            let mut out = TopKResult::empty();
+            for sub in &plan.probes {
+                sub.refresh(&engine, id, attrs, ctx, &mut out);
+            }
+            for sub in &plan.verifies {
+                sub.verify(&engine);
+            }
+        }));
+        if outcome.is_err() {
+            for sub in plan.probes.iter().chain(&plan.verifies) {
+                sub.mark_diverged();
+            }
+        }
+        let mut refreshing = lock(&self.refreshing);
+        *refreshing -= 1;
+        if *refreshing == 0 {
+            self.refresh_idle.notify_all();
+        }
+    }
 }
 
 /// Renders a caught panic payload for [`ServeError::Panicked`].
@@ -295,35 +362,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
-/// Resolves the scorer spec and runs the query — monomorphized per scorer
-/// arm, so the serving layer adds no virtual dispatch to the probe path.
+/// Resolves the scorer spec and runs the query — scorer resolution is
+/// shared with the subscription layer, so requests and standing queries
+/// cannot drift on validation.
 fn execute(
     engine: &ShardedEngine,
     req: &ServeRequest,
 ) -> Result<(Vec<RecordId>, QueryStats), QueryError> {
-    let dim = engine.dim();
-    let run = |scorer: &(dyn OracleScorer + Sync)| {
+    with_scorer(engine.dim(), &req.scorer, |scorer: &(dyn OracleScorer + Sync)| {
         engine.try_query(req.alg, scorer, &req.query).map(|r| (r.records, r.stats))
-    };
-    match &req.scorer {
-        ScorerSpec::Uniform => run(&LinearScorer::uniform(dim)),
-        ScorerSpec::Linear(w) => {
-            check_arity(dim, w.len())?;
-            run(&LinearScorer::new(w.clone()))
-        }
-        ScorerSpec::Cosine(w) => {
-            check_arity(dim, w.len())?;
-            run(&CosineScorer::new(w.clone()))
-        }
-        ScorerSpec::Custom(scorer) => run(scorer.as_ref()),
-    }
-}
-
-fn check_arity(expected: usize, got: usize) -> Result<(), QueryError> {
-    if expected != got {
-        return Err(QueryError::Arity { expected, got });
-    }
-    Ok(())
+    })?
 }
 
 /// A bounded request queue serving durable top-k queries through the
@@ -375,6 +423,7 @@ impl ServeEngine {
     /// serve; validate user-supplied capacities before calling).
     pub fn new(engine: ShardedEngine, capacity: usize, backpressure: Backpressure) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        let subs = Mutex::new(SubscriptionRegistry::anchored(&engine));
         Self {
             shared: Arc::new(Shared {
                 engine: RwLock::new(engine),
@@ -388,6 +437,9 @@ impl ServeEngine {
                 capacity,
                 backpressure,
                 counters: Counters::default(),
+                subs,
+                refreshing: Mutex::new(0),
+                refresh_idle: Condvar::new(),
             }),
         }
     }
@@ -445,22 +497,121 @@ impl ServeEngine {
     /// Ingests one record into the underlying live engine (short write
     /// lock; the `O(span)` head seal runs as a background pool job).
     ///
+    /// With subscriptions registered, the arrival is classified under the
+    /// same write lock (one head-skyband lookup — the maintainer already
+    /// did the dominance work as part of the append). The common outcome
+    /// is the zero-change fast path: no subscription is touched and the
+    /// append returns. Otherwise the bounded refresh plan rides the
+    /// persistent [`WorkerPool`] as a detached job, *after* the lock is
+    /// released — queries keep serving while subscriptions catch up.
+    ///
     /// Returns the record's global id, or [`ServeError::Query`] with
     /// [`QueryError::Arity`] on an arity mismatch.
     pub fn append(&self, attrs: &[f64]) -> Result<RecordId, ServeError> {
-        let mut engine = self.shared.engine.write().unwrap_or_else(PoisonError::into_inner);
-        if attrs.len() != engine.dim() {
-            return Err(ServeError::Query(QueryError::Arity {
-                expected: engine.dim(),
-                got: attrs.len(),
-            }));
+        let (id, plan) = {
+            let mut engine = self.shared.engine.write().unwrap_or_else(PoisonError::into_inner);
+            if attrs.len() != engine.dim() {
+                return Err(ServeError::Query(QueryError::Arity {
+                    expected: engine.dim(),
+                    got: attrs.len(),
+                }));
+            }
+            let id = engine.append(attrs);
+            let plan = lock(&self.shared.subs).plan_refresh(&engine, id);
+            (id, plan)
+        };
+        if !plan.is_empty() {
+            self.spawn_refresh(id, attrs.to_vec(), plan);
         }
-        Ok(engine.append(attrs))
+        Ok(id)
+    }
+
+    /// Dispatches one refresh plan to the pool, falling back to inline
+    /// execution when the pool is tearing down. Called with no locks held
+    /// — the inline path re-acquires the engine read lock.
+    fn spawn_refresh(&self, id: RecordId, attrs: Vec<f64>, plan: RefreshPlan) {
+        {
+            let mut refreshing = lock(&self.shared.refreshing);
+            *refreshing += 1;
+            self.shared
+                .counters
+                .max_refresh_inflight
+                .fetch_max(*refreshing as u64, Ordering::Relaxed);
+        }
+        // `WorkerPool::submit` consumes its closure even when it refuses
+        // the job, so the payload travels in an `Arc` the fallback can
+        // still reach.
+        let payload = Arc::new((id, attrs, plan));
+        let shared = Arc::clone(&self.shared);
+        let job = Arc::clone(&payload);
+        if !WorkerPool::global().submit(move |ctx| shared.run_refresh(job.0, &job.1, &job.2, ctx)) {
+            let mut ctx = QueryContext::new();
+            self.shared.run_refresh(payload.0, &payload.1, &payload.2, &mut ctx);
+        }
     }
 
     /// Waits out every in-flight background shard seal (write lock).
     pub fn quiesce(&self) {
         self.shared.engine.write().unwrap_or_else(PoisonError::into_inner).quiesce();
+    }
+
+    /// Registers a standing query: the request is validated and its
+    /// answer set over the already-ingested prefix materialized (one full
+    /// recompute); from then on every [`append`](ServeEngine::append)
+    /// keeps it current incrementally. Read the result back with
+    /// [`poll_subscription`](ServeEngine::poll_subscription) or drain
+    /// increments with [`take_delta`](ServeEngine::take_delta).
+    pub fn subscribe(&self, req: ServeRequest) -> Result<SubscriptionId, ServeError> {
+        self.register(req, false)
+    }
+
+    /// Like [`subscribe`](ServeEngine::subscribe), but additionally
+    /// re-runs the full [`try_query`](ShardedEngine::try_query) oracle
+    /// whenever the engine seals a shard, reconciling the incremental
+    /// state against it — belt-and-suspenders mode for deployments that
+    /// would rather pay a periodic recompute than trust the fast path
+    /// unaudited. Divergence is reported on the snapshot, never papered
+    /// over.
+    pub fn subscribe_verified(&self, req: ServeRequest) -> Result<SubscriptionId, ServeError> {
+        self.register(req, true)
+    }
+
+    fn register(&self, req: ServeRequest, verify: bool) -> Result<SubscriptionId, ServeError> {
+        // Lock order: engine before subs, as everywhere.
+        let engine = self.shared.read_engine();
+        let mut subs = lock(&self.shared.subs);
+        subs.register(&engine, req, verify).map_err(ServeError::Query)
+    }
+
+    /// Removes a standing query; returns whether it existed. In-flight
+    /// refresh jobs for it finish harmlessly.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        lock(&self.shared.subs).unsubscribe(id)
+    }
+
+    /// A point-in-time snapshot of one subscription's materialized answer
+    /// set and counters, or `None` for an unknown id.
+    pub fn poll_subscription(&self, id: SubscriptionId) -> Option<SubscriptionSnapshot> {
+        let sub = lock(&self.shared.subs).get(id)?;
+        Some(sub.snapshot())
+    }
+
+    /// Drains the records a subscription admitted since the last drain
+    /// (in arrival order), or `None` for an unknown id.
+    pub fn take_delta(&self, id: SubscriptionId) -> Option<Vec<RecordId>> {
+        let sub = lock(&self.shared.subs).get(id)?;
+        Some(sub.take_delta())
+    }
+
+    /// Blocks until no refresh job is in flight — every append already
+    /// made is reflected in every subscription. Call before comparing a
+    /// snapshot against a full recompute.
+    pub fn subscription_sync(&self) {
+        let mut refreshing = lock(&self.shared.refreshing);
+        while *refreshing > 0 {
+            refreshing =
+                self.shared.refresh_idle.wait(refreshing).unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
     /// Read access to the underlying engine (shard counts, direct
@@ -483,9 +634,10 @@ impl ServeEngine {
         }
     }
 
-    /// A snapshot of the queue-depth and latency counters.
+    /// A snapshot of the queue-depth, latency, and subscription counters.
     pub fn stats(&self) -> ServeStats {
         let depth = lock(&self.shared.state).queue.len();
+        let totals: SubscriptionTotals = lock(&self.shared.subs).totals();
         let c = &self.shared.counters;
         ServeStats {
             enqueued: c.enqueued.load(Ordering::Relaxed),
@@ -497,6 +649,11 @@ impl ServeEngine {
             total_queued: Duration::from_nanos(c.queue_ns.load(Ordering::Relaxed)),
             total_service: Duration::from_nanos(c.service_ns.load(Ordering::Relaxed)),
             cold_page_hits: c.cold_page_hits.load(Ordering::Relaxed),
+            subscriptions: totals.subscriptions,
+            refreshes: totals.refreshes,
+            fast_path_skips: totals.fast_path_skips,
+            full_recomputes: totals.full_recomputes,
+            max_refresh_inflight: c.max_refresh_inflight.load(Ordering::Relaxed),
         }
     }
 }
@@ -612,6 +769,129 @@ mod tests {
             Err(ServeError::ShuttingDown)
         );
         // Idempotent.
+        serve.shutdown();
+    }
+
+    #[test]
+    fn standing_queries_refresh_incrementally_on_append() {
+        let engine = ShardedEngine::new_live(2, 32, 16).with_skyband_bound(4);
+        let serve = ServeEngine::new(engine, 8, Backpressure::Block);
+        let row = |i: usize| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
+        for i in 0..80 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        let jobs_before = WorkerPool::detached_jobs();
+        let id = serve
+            .subscribe_verified(request(Algorithm::THop, 2, 10, 0, u32::MAX))
+            .expect("valid request");
+        for i in 80..300 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        serve.quiesce();
+        serve.subscription_sync();
+        let snap = serve.poll_subscription(id).expect("registered");
+        assert!(!snap.diverged, "seal verifications must agree with the fast path");
+        let scorer = durable_topk_temporal::LinearScorer::new(vec![0.6, 0.4]);
+        let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, 299) };
+        let expected = serve.engine().try_query(Algorithm::THop, &scorer, &q).expect("query");
+        assert_eq!(snap.records, expected.records);
+        // The increments drain exactly once, in arrival order.
+        let delta = serve.take_delta(id).expect("registered");
+        assert_eq!(delta, snap.records);
+        assert!(serve.take_delta(id).expect("registered").is_empty());
+        // The gate fired, probes ran, and every refresh rode the pool as a
+        // detached job — the saturation high-water mark saw them.
+        let stats = serve.stats();
+        assert_eq!(stats.subscriptions, 1);
+        assert!(stats.refreshes > 0, "durable arrivals must probe");
+        assert!(stats.fast_path_skips > 0, "the skyband gate must skip arrivals");
+        assert!(stats.full_recomputes >= 1, "registration materializes once");
+        assert!(stats.max_refresh_inflight >= 1);
+        assert!(WorkerPool::detached_jobs() > jobs_before, "refreshes ride the pool");
+        assert!(serve.unsubscribe(id));
+        assert!(serve.poll_subscription(id).is_none());
+        assert!(!serve.unsubscribe(id));
+        serve.shutdown();
+    }
+
+    #[test]
+    fn subscriptions_validate_like_requests() {
+        let engine = ShardedEngine::new_live(2, 32, 16);
+        let serve = ServeEngine::new(engine, 8, Backpressure::Block);
+        serve.append(&[1.0, 2.0]).expect("arity matches");
+        assert_eq!(
+            serve.subscribe(request(Algorithm::THop, 0, 8, 0, u32::MAX)).unwrap_err(),
+            ServeError::Query(QueryError::ZeroK)
+        );
+        assert_eq!(
+            serve.subscribe(request(Algorithm::THop, 1, 17, 0, u32::MAX)).unwrap_err(),
+            ServeError::Query(QueryError::TauExceedsOverlap { tau: 17, max_tau: 16 })
+        );
+        let skewed = ServeRequest {
+            scorer: ScorerSpec::Linear(vec![1.0, 2.0, 3.0]),
+            ..request(Algorithm::THop, 1, 8, 0, u32::MAX)
+        };
+        assert_eq!(
+            serve.subscribe(skewed).unwrap_err(),
+            ServeError::Query(QueryError::Arity { expected: 2, got: 3 })
+        );
+        assert_eq!(serve.stats().subscriptions, 0);
+        serve.shutdown();
+    }
+
+    #[test]
+    fn fixed_interval_subscriptions_complete() {
+        let engine = ShardedEngine::new_live(2, 64, 8);
+        let serve = ServeEngine::new(engine, 8, Backpressure::Block);
+        let row = |i: usize| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
+        for i in 0..10 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        let id = serve.subscribe(request(Algorithm::THop, 1, 4, 0, 19)).expect("valid");
+        for i in 10..50 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        serve.subscription_sync();
+        let snap = serve.poll_subscription(id).expect("registered");
+        assert!(snap.complete, "the stream passed the interval end");
+        assert!(snap.records.iter().all(|&r| r <= 19));
+        let scorer = durable_topk_temporal::LinearScorer::new(vec![0.6, 0.4]);
+        let q = DurableQuery { k: 1, tau: 4, interval: Window::new(0, 19) };
+        let expected = serve.engine().try_query(Algorithm::THop, &scorer, &q).expect("query");
+        assert_eq!(snap.records, expected.records);
+        serve.shutdown();
+    }
+
+    #[test]
+    fn non_monotone_subscriptions_skip_the_gate_but_stay_exact() {
+        // Cosine is non-monotone: the skyband gate is unsound for it, so
+        // every in-interval arrival must probe — and the answers must
+        // still match the full recompute.
+        let engine = ShardedEngine::new_live(2, 32, 16);
+        let serve = ServeEngine::new(engine, 8, Backpressure::Block);
+        let row = |i: usize| [((i * 37) % 101) as f64 + 1.0, ((i * 73) % 97) as f64 + 1.0];
+        for i in 0..40 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        let req = ServeRequest {
+            alg: Algorithm::THop,
+            query: DurableQuery { k: 2, tau: 8, interval: Window::new(0, u32::MAX) },
+            scorer: ScorerSpec::Cosine(vec![0.8, 0.2]),
+        };
+        let id = serve.subscribe(req).expect("valid");
+        for i in 40..160 {
+            serve.append(&row(i)).expect("arity matches");
+        }
+        serve.subscription_sync();
+        let stats = serve.stats();
+        // 120 post-registration arrivals, all in-interval: all must probe.
+        assert_eq!(stats.refreshes, 120);
+        assert_eq!(stats.fast_path_skips, 0);
+        let snap = serve.poll_subscription(id).expect("registered");
+        let scorer = durable_topk_temporal::CosineScorer::new(vec![0.8, 0.2]);
+        let q = DurableQuery { k: 2, tau: 8, interval: Window::new(0, 159) };
+        let expected = serve.engine().try_query(Algorithm::THop, &scorer, &q).expect("query");
+        assert_eq!(snap.records, expected.records);
         serve.shutdown();
     }
 

@@ -218,6 +218,10 @@ pub struct ShardedEngine {
     /// Leaf granularity of the head forest and sealed trees.
     leaf_size: usize,
     seal_mode: SealMode,
+    /// Head rotations so far — bumps when a full head is handed off for
+    /// sealing. Standing-query consumers compare epochs across appends to
+    /// notice a freshly crossed shard boundary.
+    seal_epoch: u64,
     /// Oracle queries served by seal snapshots that have since been
     /// integrated (their forest counters die with them; this keeps
     /// [`oracle_queries`](ShardedEngine::oracle_queries) monotone).
@@ -291,6 +295,7 @@ impl ShardedEngine {
             k_max: None,
             leaf_size,
             seal_mode: SealMode::Background,
+            seal_epoch: 0,
             retired_queries: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -440,6 +445,7 @@ impl ShardedEngine {
             k_max,
             leaf_size: DEFAULT_LEAF_SIZE,
             seal_mode: SealMode::Background,
+            seal_epoch: 0,
             retired_queries: std::sync::atomic::AtomicU64::new(0),
         };
         engine.head = engine.fresh_head(|i| ds.row(i as Time), n);
@@ -506,6 +512,7 @@ impl ShardedEngine {
     /// the trailing `max_tau` records. The snapshot keeps serving queries
     /// until the sealed shard is published and integrated.
     fn hand_off_seal(&mut self) {
+        self.seal_epoch += 1;
         // Backpressure: never hold more than a few snapshots' worth of
         // extra memory. Waiting here is rare (the pool seals far faster
         // than `span` records usually arrive).
@@ -655,6 +662,39 @@ impl ShardedEngine {
     /// The largest `τ` this engine answers exactly.
     pub fn max_tau(&self) -> Time {
         self.max_tau
+    }
+
+    /// Head rotations so far: increments every time a full head is handed
+    /// off for sealing. The subscription layer compares this across
+    /// appends to notice a freshly crossed shard boundary and re-anchor
+    /// standing queries that straddle it.
+    pub fn seal_epoch(&self) -> u64 {
+        self.seal_epoch
+    }
+
+    /// The newest record's durable k-skyband duration at the level
+    /// serving `k`, read from the head forest's incremental maintainer.
+    ///
+    /// This is the per-arrival verdict the S-Band structures already
+    /// computed on append, repurposed as a zero-change gate for standing
+    /// queries: for a *monotone* scorer, a duration `< τ` proves the
+    /// arrival is beaten by at least `k` records inside its own look-back
+    /// window — the same superset argument [`Algorithm::SBand`] relies on
+    /// — so no standing `DurTop(k', I, τ')` with `k' ≤ k`, `τ' ≥` the
+    /// duration can admit it. The head maintainer sees at least `max_tau`
+    /// records of left context, and truncation only *overestimates* a
+    /// duration, so a reading below `τ ≤ max_tau` is always sound.
+    ///
+    /// Returns `None` when no skyband bound is configured, `k` exceeds
+    /// it, or no record has arrived yet — callers must then run the full
+    /// bounded probe instead.
+    pub fn arrival_skyband_duration(&self, k: usize) -> Option<Time> {
+        let maintainer = self.head.index.skyband()?.maintainer();
+        if maintainer.is_empty() || maintainer.len() != self.head.ds.len() {
+            return None;
+        }
+        let level = maintainer.levels().iter().position(|&lk| lk >= k)?;
+        maintainer.durations(level).last().copied()
     }
 
     /// Answers `DurTop(k, I, τ)` by fanning out over the shards owning a

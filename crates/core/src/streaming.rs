@@ -29,9 +29,12 @@
 use crate::algorithms::{s_hop, t_hop, RefillMode};
 use crate::context::QueryContext;
 use crate::engine::Algorithm;
+use crate::error::QueryError;
 use crate::oracle::TopKOracle;
 use crate::query::{DurableQuery, FallbackReason, QueryResult};
+use crate::serve::ServeRequest;
 use crate::sharded::ShardedEngine;
+use crate::subscribe::{SubscriptionId, SubscriptionRegistry, SubscriptionSnapshot};
 use durable_topk_index::{OracleScorer, OracleScratch, TopKResult};
 use durable_topk_temporal::{Dataset, RecordId, Time, Window};
 use std::cell::RefCell;
@@ -98,6 +101,9 @@ pub struct StreamingMonitor {
     history: RefCell<Dataset>,
     ctx: QueryContext,
     probe: TopKResult,
+    /// Standing queries, refreshed inline per push (the monitor is
+    /// single-threaded; no pool dispatch).
+    subs: SubscriptionRegistry,
 }
 
 impl StreamingMonitor {
@@ -118,12 +124,25 @@ impl StreamingMonitor {
     /// # Panics
     /// Panics if any parameter is zero.
     pub fn with_bounds(dim: usize, leaf_size: usize, shard_span: usize, max_tau: Time) -> Self {
+        let engine = ShardedEngine::new_live_with_leaf(dim, shard_span, max_tau, leaf_size);
+        let subs = SubscriptionRegistry::anchored(&engine);
         Self {
-            engine: ShardedEngine::new_live_with_leaf(dim, shard_span, max_tau, leaf_size),
+            engine,
             history: RefCell::new(Dataset::new(dim)),
             ctx: QueryContext::new(),
             probe: TopKResult::empty(),
+            subs,
         }
+    }
+
+    /// Builder: bounds the head shard's incremental skyband at `k_max`,
+    /// enabling S-Band on the backing engine *and* the zero-change
+    /// fast-path gate for standing queries with `k ≤ k_max` (see
+    /// [`subscribe`](StreamingMonitor::subscribe)). Call before the first
+    /// push.
+    pub fn with_skyband_bound(self, k_max: usize) -> Self {
+        let Self { engine, history, ctx, probe, subs } = self;
+        Self { engine: engine.with_skyband_bound(k_max), history, ctx, probe, subs }
     }
 
     /// Bootstraps the monitor from existing history. The given dataset
@@ -197,6 +216,17 @@ impl StreamingMonitor {
     ) -> bool {
         assert!(k > 0, "k must be positive");
         let id = self.engine.append(attrs);
+        // Keep any standing queries current before answering for this
+        // arrival. Inline (the monitor is single-threaded), and bounded:
+        // the registry's skyband gate skips subscriptions this arrival
+        // provably cannot enter.
+        let plan = self.subs.plan_refresh(&self.engine, id);
+        for sub in &plan.probes {
+            sub.refresh(&self.engine, id, attrs, &mut self.ctx, &mut self.probe);
+        }
+        for sub in &plan.verifies {
+            sub.verify(&self.engine);
+        }
         self.engine.top_k_into(
             scorer,
             k,
@@ -205,6 +235,39 @@ impl StreamingMonitor {
             &mut self.probe,
         );
         self.probe.admits_score(scorer.score(attrs))
+    }
+
+    /// Registers a standing `DurTop` query on the stream: the answer set
+    /// over the already-pushed prefix is materialized once, then every
+    /// [`push`](StreamingMonitor::push) keeps it current incrementally
+    /// (with the same zero-change skyband gate the serving layer uses).
+    /// Read it back with [`subscription`](StreamingMonitor::subscription)
+    /// or drain increments with [`take_delta`](StreamingMonitor::take_delta).
+    pub fn subscribe(&mut self, req: ServeRequest) -> Result<SubscriptionId, QueryError> {
+        self.subs.register(&self.engine, req, false)
+    }
+
+    /// Like [`subscribe`](StreamingMonitor::subscribe), but re-verifies
+    /// the materialized set against a full recompute at every shard seal.
+    pub fn subscribe_verified(&mut self, req: ServeRequest) -> Result<SubscriptionId, QueryError> {
+        self.subs.register(&self.engine, req, true)
+    }
+
+    /// A snapshot of one standing query's materialized answer set and
+    /// counters, or `None` for an unknown id.
+    pub fn subscription(&self, id: SubscriptionId) -> Option<SubscriptionSnapshot> {
+        Some(self.subs.get(id)?.snapshot())
+    }
+
+    /// Drains the records a standing query admitted since the last drain,
+    /// in arrival order, or `None` for an unknown id.
+    pub fn take_delta(&self, id: SubscriptionId) -> Option<Vec<RecordId>> {
+        Some(self.subs.get(id)?.take_delta())
+    }
+
+    /// Removes a standing query; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subs.unsubscribe(id)
     }
 
     /// Direct access to the building block: `Q(u, k, W)` over the ingested
@@ -402,6 +465,38 @@ mod tests {
         assert_eq!(monitor.history().raw_attrs(), expected.raw_attrs());
         let flat2 = DurableTopKEngine::new(expected);
         assert_eq!(got2.records, flat2.query(Algorithm::SHop, &scorer, &q2).records);
+    }
+
+    #[test]
+    fn standing_queries_track_the_stream_across_seals() {
+        use crate::serve::{ScorerSpec, ServeRequest};
+        let mut rng = StdRng::seed_from_u64(406);
+        let mut monitor = StreamingMonitor::with_bounds(2, 4, 16, 24).with_skyband_bound(4);
+        let push_scorer = LinearScorer::new(vec![0.5, 0.5]);
+        let mut row = |_: u32| [rng.random_range(0..12) as f64, rng.random_range(0..12) as f64];
+        for i in 0..60u32 {
+            monitor.push(&row(i), &push_scorer, 1, 4);
+        }
+        // Subscribe mid-stream with a different scorer than push uses.
+        let req = ServeRequest {
+            alg: Algorithm::THop,
+            query: DurableQuery { k: 2, tau: 20, interval: Window::new(10, u32::MAX) },
+            scorer: ScorerSpec::Linear(vec![0.3, 0.7]),
+        };
+        let id = monitor.subscribe_verified(req).expect("valid");
+        for i in 60..200u32 {
+            monitor.push(&row(i), &push_scorer, 1, 4);
+        }
+        assert!(monitor.engine().sealed_shards() > 5, "bounds must force seals");
+        let snap = monitor.subscription(id).expect("registered");
+        assert!(!snap.diverged, "seal verifications must agree with the fast path");
+        let sub_scorer = LinearScorer::new(vec![0.3, 0.7]);
+        let q = DurableQuery { k: 2, tau: 20, interval: Window::new(10, 199) };
+        let expected = monitor.engine().try_query(Algorithm::THop, &sub_scorer, &q).expect("ok");
+        assert_eq!(snap.records, expected.records);
+        assert!(snap.fast_path_skips > 0, "the skyband gate must fire on a random stream");
+        assert!(monitor.unsubscribe(id));
+        assert!(monitor.subscription(id).is_none());
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Standing-query subscriptions: materialized `DurTop(k, I, τ)` answer
+//! sets maintained incrementally from the append path.
+//!
+//! A dashboard serving the same durable top-k to many viewers should not
+//! re-run the full query per page load. It registers the request once; the
+//! registry keeps the answer set current as records arrive, for a fraction
+//! of a full recompute.
+//!
+//! The whole design rests on one property of the paper's query: durability
+//! is *look-back only*. Whether record `p` belongs to `DurTop(k, I, τ)`
+//! depends solely on the `τ` records preceding `p` — later arrivals can
+//! never evict it and never promote it. A standing result set is therefore
+//! **append-monotone**: maintaining it exactly means deciding, once per
+//! arrival, whether the newcomer joins — existing entries are settled
+//! forever. That single decision is a bounded probe: one look-back top-k
+//! (`Q(u, k, [t−τ, t])`) plus an admission check, the same classification
+//! [`StreamingMonitor`](crate::StreamingMonitor) performs per push. No
+//! eviction re-pull exists because no eviction exists.
+//!
+//! Three tiers of per-arrival work, cheapest first:
+//!
+//! 1. **Zero-change fast path** — the arrival is outside every
+//!    subscription's interval, or (for monotone scorers, `k` within the
+//!    engine's skyband bound) the head shard's [`SkybandMaintainer`]
+//!    verdict — computed on append anyway — shows a skyband duration
+//!    `< τ`, proving the arrival can never enter that standing top-k. No
+//!    subscription is touched.
+//! 2. **Bounded refresh** — only the affected subscriptions run the
+//!    look-back probe; an admitted arrival is inserted in id order.
+//! 3. **Full recompute** — registration materializes the initial set via
+//!    [`ShardedEngine::try_query`], and subscriptions registered with
+//!    seal-boundary verification re-run it whenever the engine rotates its
+//!    head, reconciling the incremental state against the oracle answer
+//!    (divergence is recorded, never silently patched). Non-monotone
+//!    scorers skip tier 1 (the skyband gate argument needs monotonicity)
+//!    but stay exact through tier 2: the probe itself is scorer-agnostic.
+//!
+//! The registry is engine-agnostic glue: [`ServeEngine`](crate::ServeEngine)
+//! drives it from its append path (refresh jobs ride the persistent
+//! [`WorkerPool`](crate::WorkerPool) as detached jobs), while
+//! [`StreamingMonitor`](crate::StreamingMonitor) drives it inline per push.
+//!
+//! [`SkybandMaintainer`]: durable_topk_geom::SkybandMaintainer
+
+use crate::context::QueryContext;
+use crate::error::QueryError;
+use crate::query::DurableQuery;
+use crate::serve::{ScorerSpec, ServeRequest};
+use crate::sharded::ShardedEngine;
+use crate::sync::lock;
+use durable_topk_index::{OracleScorer, TopKResult};
+use durable_topk_temporal::{CosineScorer, LinearScorer, RecordId, Time, Window};
+use std::sync::{Arc, Mutex};
+
+/// Identifies one registered subscription within its registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+/// A point-in-time view of one subscription: the materialized answer set
+/// plus its maintenance counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionSnapshot {
+    /// The standing answer set: τ-durable records of the subscribed
+    /// interval, in increasing arrival order.
+    pub records: Vec<RecordId>,
+    /// Bounded per-arrival probes run for this subscription.
+    pub refreshes: u64,
+    /// Arrivals inside the interval skipped by the skyband gate without a
+    /// probe (monotone scorers under the engine's skyband bound).
+    pub fast_path_skips: u64,
+    /// Full `try_query` recomputes (initial materialization plus any
+    /// seal-boundary verifications).
+    pub full_recomputes: u64,
+    /// Whether the stream has passed the subscribed interval — the result
+    /// set is final (durability never changes retroactively).
+    pub complete: bool,
+    /// Whether a seal-boundary verification ever contradicted the
+    /// incremental state, or a refresh failed. Should stay `false`; a
+    /// `true` is a bug surfaced, not repaired.
+    pub diverged: bool,
+}
+
+/// Aggregate counters across a whole registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionTotals {
+    /// Currently registered subscriptions.
+    pub subscriptions: usize,
+    /// Bounded per-arrival probes run across all subscriptions.
+    pub refreshes: u64,
+    /// Appends (with at least one subscription registered) that touched
+    /// no subscription at all — the zero-change fast path.
+    pub fast_path_skips: u64,
+    /// Full `try_query` recomputes (registrations plus seal-boundary
+    /// verifications).
+    pub full_recomputes: u64,
+}
+
+/// Checks a parameter vector's arity against the engine dimension.
+pub(crate) fn check_arity(expected: usize, got: usize) -> Result<(), QueryError> {
+    if expected != got {
+        return Err(QueryError::Arity { expected, got });
+    }
+    Ok(())
+}
+
+/// Resolves a [`ScorerSpec`] into a concrete scorer and applies `f` to it
+/// — the one place serving and subscriptions turn request data back into
+/// scoring code. Arity of explicit weight vectors is checked against the
+/// engine dimension first.
+pub(crate) fn with_scorer<R>(
+    dim: usize,
+    spec: &ScorerSpec,
+    f: impl FnOnce(&(dyn OracleScorer + Sync)) -> R,
+) -> Result<R, QueryError> {
+    match spec {
+        ScorerSpec::Uniform => Ok(f(&LinearScorer::uniform(dim))),
+        ScorerSpec::Linear(w) => {
+            check_arity(dim, w.len())?;
+            Ok(f(&LinearScorer::new(w.clone())))
+        }
+        ScorerSpec::Cosine(w) => {
+            check_arity(dim, w.len())?;
+            Ok(f(&CosineScorer::new(w.clone())))
+        }
+        ScorerSpec::Custom(scorer) => Ok(f(scorer.as_ref())),
+    }
+}
+
+/// Whether the spec resolves to a monotone scorer (the precondition of
+/// the skyband fast-path gate).
+fn is_monotone(dim: usize, spec: &ScorerSpec) -> Result<bool, QueryError> {
+    with_scorer(dim, spec, |s| s.is_monotone())
+}
+
+/// Mutable half of one subscription, behind its own lock so refresh jobs
+/// running on pool workers never contend on the registry itself.
+#[derive(Debug, Default)]
+struct SubState {
+    /// Materialized answer set, sorted by arrival id.
+    records: Vec<RecordId>,
+    /// Records admitted since the last [`Subscription::take_delta`].
+    delta: Vec<RecordId>,
+    refreshes: u64,
+    fast_path_skips: u64,
+    full_recomputes: u64,
+    complete: bool,
+    diverged: bool,
+}
+
+impl SubState {
+    /// Sorted, idempotent insert — refresh jobs may land out of arrival
+    /// order, and a seal-boundary verification may race an in-flight
+    /// probe; both paths compute the same truth, so inserting a record
+    /// twice must be a no-op.
+    fn admit(&mut self, id: RecordId) {
+        if let Err(pos) = self.records.binary_search(&id) {
+            self.records.insert(pos, id);
+            self.delta.push(id);
+        }
+    }
+}
+
+/// One standing request plus its materialized state. Shared (`Arc`)
+/// between the registry and any in-flight refresh jobs.
+#[derive(Debug)]
+pub(crate) struct Subscription {
+    id: u64,
+    req: ServeRequest,
+    /// Monotone scorer ⇒ the skyband gate applies.
+    monotone: bool,
+    /// Re-run the full recompute oracle at every seal boundary.
+    verify_on_seal: bool,
+    state: Mutex<SubState>,
+}
+
+impl Subscription {
+    /// Tier 2: the bounded per-arrival check. One look-back top-k probe
+    /// over the shards intersecting `[id − τ, id]` plus an admission
+    /// test; an admitted arrival joins the materialized set. Exact for
+    /// *any* scorer — monotonicity only matters for skipping this probe,
+    /// never for running it.
+    pub(crate) fn refresh(
+        &self,
+        engine: &ShardedEngine,
+        id: RecordId,
+        attrs: &[f64],
+        ctx: &mut QueryContext,
+        out: &mut TopKResult,
+    ) {
+        let q = &self.req.query;
+        let admitted = with_scorer(engine.dim(), &self.req.scorer, |scorer| {
+            engine.top_k_into(scorer, q.k, Window::lookback(id, q.tau), ctx, out);
+            out.admits_score(scorer.score(attrs))
+        });
+        let mut state = lock(&self.state);
+        state.refreshes += 1;
+        match admitted {
+            Ok(true) => state.admit(id),
+            Ok(false) => {}
+            // Arity was validated at registration; reaching this means the
+            // engine changed shape underneath us — surface, don't guess.
+            Err(_) => state.diverged = true,
+        }
+    }
+
+    /// Tier 3: the correctness oracle. Recomputes the covered prefix via
+    /// [`ShardedEngine::try_query`] and reconciles: the incremental state
+    /// must be a *subset* of the oracle answer (in-flight probes may not
+    /// have landed yet — they can only add records the oracle already
+    /// agrees on); anything the oracle disowns marks the subscription
+    /// diverged. Missing records are filled in, so a verified
+    /// subscription is also fully caught up to the recompute point.
+    pub(crate) fn verify(&self, engine: &ShardedEngine) {
+        let q = &self.req.query;
+        let len = engine.len();
+        if len == 0 || (q.interval.start() as usize) >= len {
+            return;
+        }
+        let upto = q.interval.end().min((len - 1) as Time);
+        let full =
+            DurableQuery { k: q.k, tau: q.tau, interval: Window::new(q.interval.start(), upto) };
+        let fresh = with_scorer(engine.dim(), &self.req.scorer, |scorer| {
+            engine.try_query(self.req.alg, scorer, &full)
+        });
+        let mut state = lock(&self.state);
+        state.full_recomputes += 1;
+        match fresh {
+            Ok(Ok(fresh)) => {
+                let false_positive = state
+                    .records
+                    .iter()
+                    .take_while(|&&r| r <= upto)
+                    .any(|r| fresh.records.binary_search(r).is_err());
+                if false_positive {
+                    state.diverged = true;
+                }
+                for &r in &fresh.records {
+                    state.admit(r);
+                }
+            }
+            _ => state.diverged = true,
+        }
+    }
+
+    /// Marks the subscription diverged (a refresh job died mid-flight).
+    pub(crate) fn mark_diverged(&self) {
+        lock(&self.state).diverged = true;
+    }
+
+    /// A point-in-time copy of the materialized state.
+    pub(crate) fn snapshot(&self) -> SubscriptionSnapshot {
+        let state = lock(&self.state);
+        SubscriptionSnapshot {
+            records: state.records.clone(),
+            refreshes: state.refreshes,
+            fast_path_skips: state.fast_path_skips,
+            full_recomputes: state.full_recomputes,
+            complete: state.complete,
+            diverged: state.diverged,
+        }
+    }
+
+    /// Drains the records admitted since the last call, in arrival order.
+    pub(crate) fn take_delta(&self) -> Vec<RecordId> {
+        let mut delta = std::mem::take(&mut lock(&self.state).delta);
+        delta.sort_unstable();
+        delta
+    }
+}
+
+/// The per-arrival work one append produced: subscriptions needing the
+/// bounded probe, and subscriptions due a seal-boundary verification.
+/// Built under the engine lock (classification reads the head skyband),
+/// executed after it is released — on a pool worker for
+/// [`ServeEngine`](crate::ServeEngine), inline for the monitor.
+#[derive(Debug, Default)]
+pub(crate) struct RefreshPlan {
+    pub(crate) probes: Vec<Arc<Subscription>>,
+    pub(crate) verifies: Vec<Arc<Subscription>>,
+}
+
+impl RefreshPlan {
+    /// Whether the append touches no subscription (the zero-change fast
+    /// path).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.probes.is_empty() && self.verifies.is_empty()
+    }
+}
+
+/// The subscription registry: registered standing requests plus the
+/// classification logic the append path runs per arrival. Engine-agnostic
+/// — the owner decides where plans execute.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriptionRegistry {
+    subs: Vec<Arc<Subscription>>,
+    next_id: u64,
+    /// Engine seal epoch as of the last planned append — a difference
+    /// means a shard boundary was crossed since.
+    last_seal_epoch: u64,
+    refreshes: u64,
+    fast_path_skips: u64,
+    full_recomputes: u64,
+}
+
+impl SubscriptionRegistry {
+    /// An empty registry anchored at the engine's current seal epoch (so
+    /// pre-existing shards never trigger a spurious boundary event).
+    pub(crate) fn anchored(engine: &ShardedEngine) -> Self {
+        Self { last_seal_epoch: engine.seal_epoch(), ..Self::default() }
+    }
+
+    /// Registers a standing request and materializes its initial answer
+    /// set over the already-ingested prefix (one full recompute).
+    ///
+    /// Validation mirrors the serving path: zero `k`/`τ`, `τ` beyond the
+    /// engine's overlap bound, and weight-vector arity all come back as
+    /// typed [`QueryError`]s.
+    pub(crate) fn register(
+        &mut self,
+        engine: &ShardedEngine,
+        req: ServeRequest,
+        verify_on_seal: bool,
+    ) -> Result<SubscriptionId, QueryError> {
+        let q = req.query;
+        if q.k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if q.tau == 0 {
+            return Err(QueryError::ZeroTau);
+        }
+        if q.tau > engine.max_tau() {
+            return Err(QueryError::TauExceedsOverlap { tau: q.tau, max_tau: engine.max_tau() });
+        }
+        let monotone = is_monotone(engine.dim(), &req.scorer)?;
+        let len = engine.len();
+        let mut state = SubState::default();
+        if len > 0 && (q.interval.start() as usize) < len {
+            let upto = q.interval.end().min((len - 1) as Time);
+            let init = DurableQuery {
+                k: q.k,
+                tau: q.tau,
+                interval: Window::new(q.interval.start(), upto),
+            };
+            let fresh = with_scorer(engine.dim(), &req.scorer, |scorer| {
+                engine.try_query(req.alg, scorer, &init)
+            })??;
+            state.delta = fresh.records.clone();
+            state.records = fresh.records;
+            state.full_recomputes = 1;
+            self.full_recomputes += 1;
+        }
+        state.complete = (q.interval.end() as usize) < len;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.push(Arc::new(Subscription {
+            id,
+            req,
+            monotone,
+            verify_on_seal,
+            state: Mutex::new(state),
+        }));
+        Ok(SubscriptionId(id))
+    }
+
+    /// Classifies one arrival against every subscription — tier 1 of the
+    /// refresh ladder, run under the engine lock right after the append.
+    /// Returns the (possibly empty) plan of probes and verifications to
+    /// execute once the lock is released.
+    pub(crate) fn plan_refresh(&mut self, engine: &ShardedEngine, id: RecordId) -> RefreshPlan {
+        let epoch = engine.seal_epoch();
+        let seal_crossed = epoch != self.last_seal_epoch;
+        self.last_seal_epoch = epoch;
+        let mut plan = RefreshPlan::default();
+        if self.subs.is_empty() {
+            return plan;
+        }
+        for sub in &self.subs {
+            let q = &sub.req.query;
+            let complete = {
+                let mut state = lock(&sub.state);
+                if !state.complete && q.interval.end() < id {
+                    state.complete = true;
+                }
+                state.complete
+            };
+            if seal_crossed && sub.verify_on_seal && !complete {
+                plan.verifies.push(Arc::clone(sub));
+            }
+            if complete || !q.interval.contains(id) {
+                continue;
+            }
+            if sub.monotone {
+                // The head maintainer classified this arrival on append;
+                // a duration below the subscription's τ proves it cannot
+                // be durable there. Sound only for monotone scorers (the
+                // S-Band superset argument), hence the flag.
+                if let Some(duration) = engine.arrival_skyband_duration(q.k) {
+                    if duration < q.tau {
+                        lock(&sub.state).fast_path_skips += 1;
+                        continue;
+                    }
+                }
+            }
+            plan.probes.push(Arc::clone(sub));
+        }
+        if plan.is_empty() {
+            self.fast_path_skips += 1;
+        } else {
+            self.refreshes += plan.probes.len() as u64;
+            self.full_recomputes += plan.verifies.len() as u64;
+        }
+        plan
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub(crate) fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|s| s.id != id.0);
+        self.subs.len() != before
+    }
+
+    /// The subscription behind an id, if still registered.
+    pub(crate) fn get(&self, id: SubscriptionId) -> Option<Arc<Subscription>> {
+        self.subs.iter().find(|s| s.id == id.0).map(Arc::clone)
+    }
+
+    /// Aggregate counters across every subscription.
+    pub(crate) fn totals(&self) -> SubscriptionTotals {
+        SubscriptionTotals {
+            subscriptions: self.subs.len(),
+            refreshes: self.refreshes,
+            fast_path_skips: self.fast_path_skips,
+            full_recomputes: self.full_recomputes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Algorithm;
+
+    fn row(i: u32) -> [f64; 2] {
+        [((i * 37) % 101) as f64, ((i * 73) % 97) as f64]
+    }
+
+    fn request(k: usize, tau: Time, interval: Window) -> ServeRequest {
+        ServeRequest {
+            alg: Algorithm::THop,
+            query: DurableQuery { k, tau, interval },
+            scorer: ScorerSpec::Linear(vec![0.6, 0.4]),
+        }
+    }
+
+    #[test]
+    fn registration_materializes_and_appends_refresh_incrementally() {
+        let mut engine = ShardedEngine::new_live(2, 32, 16).with_skyband_bound(4);
+        for i in 0..100u32 {
+            engine.append(&row(i));
+        }
+        let mut registry = SubscriptionRegistry::anchored(&engine);
+        let req = request(2, 10, Window::new(0, u32::MAX));
+        let id = registry.register(&engine, req, true).expect("valid");
+        let sub = registry.get(id).expect("registered");
+        // Initial set matches the oracle over the ingested prefix.
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, 99) };
+        let expected = engine.try_query(Algorithm::THop, &scorer, &q).expect("query");
+        assert_eq!(sub.snapshot().records, expected.records);
+        // Stream on, executing every plan inline.
+        let mut ctx = QueryContext::new();
+        let mut out = TopKResult::empty();
+        for i in 100..220u32 {
+            let attrs = row(i);
+            let id = engine.append(&attrs);
+            let plan = registry.plan_refresh(&engine, id);
+            for sub in &plan.probes {
+                sub.refresh(&engine, id, &attrs, &mut ctx, &mut out);
+            }
+            for sub in &plan.verifies {
+                sub.verify(&engine);
+            }
+        }
+        let q = DurableQuery { k: 2, tau: 10, interval: Window::new(0, 219) };
+        let expected = engine.try_query(Algorithm::THop, &scorer, &q).expect("query");
+        let snap = sub.snapshot();
+        assert_eq!(snap.records, expected.records);
+        assert!(!snap.diverged, "seal-boundary verifications must agree");
+        assert!(snap.full_recomputes > 1, "220 appends over span 32 cross seal boundaries");
+        // The gate spared real work: some arrivals probed, some skipped
+        // without touching the subscription, and no append did both.
+        let totals = registry.totals();
+        assert_eq!(totals.subscriptions, 1);
+        assert!(totals.refreshes > 0, "durable arrivals must probe");
+        assert!(totals.fast_path_skips > 0, "the skyband gate must skip non-durable arrivals");
+        // Per-sub skips can exceed the registry's: a seal-crossing append
+        // may gate-skip the probe yet still plan a verification.
+        assert!(snap.fast_path_skips >= totals.fast_path_skips);
+        assert!(totals.refreshes + totals.fast_path_skips <= 120);
+        // The delta drains exactly the standing set, once.
+        let mut seen = sub.take_delta();
+        seen.sort_unstable();
+        assert_eq!(seen, snap.records);
+        assert!(sub.take_delta().is_empty());
+    }
+
+    #[test]
+    fn registration_validates_like_the_serving_path() {
+        let mut engine = ShardedEngine::new_live(2, 32, 16);
+        engine.append(&row(0));
+        let mut registry = SubscriptionRegistry::anchored(&engine);
+        let w = Window::new(0, u32::MAX);
+        assert_eq!(
+            registry.register(&engine, request(0, 8, w), false).unwrap_err(),
+            QueryError::ZeroK
+        );
+        assert_eq!(
+            registry.register(&engine, request(1, 0, w), false).unwrap_err(),
+            QueryError::ZeroTau
+        );
+        assert_eq!(
+            registry.register(&engine, request(1, 17, w), false).unwrap_err(),
+            QueryError::TauExceedsOverlap { tau: 17, max_tau: 16 }
+        );
+        let skewed =
+            ServeRequest { scorer: ScorerSpec::Linear(vec![1.0, 2.0, 3.0]), ..request(1, 8, w) };
+        assert_eq!(
+            registry.register(&engine, skewed, false).unwrap_err(),
+            QueryError::Arity { expected: 2, got: 3 }
+        );
+        assert_eq!(registry.totals().subscriptions, 0);
+    }
+
+    #[test]
+    fn fixed_intervals_complete_and_stop_matching() {
+        let mut engine = ShardedEngine::new_live(2, 64, 8);
+        for i in 0..10u32 {
+            engine.append(&row(i));
+        }
+        let mut registry = SubscriptionRegistry::anchored(&engine);
+        let id = registry.register(&engine, request(1, 4, Window::new(0, 19)), false).expect("ok");
+        let sub = registry.get(id).expect("registered");
+        assert!(!sub.snapshot().complete);
+        let mut ctx = QueryContext::new();
+        let mut out = TopKResult::empty();
+        for i in 10..40u32 {
+            let attrs = row(i);
+            let at = engine.append(&attrs);
+            let plan = registry.plan_refresh(&engine, at);
+            for sub in &plan.probes {
+                assert!(at <= 19, "arrivals past the interval must not probe");
+                sub.refresh(&engine, at, &attrs, &mut ctx, &mut out);
+            }
+        }
+        let snap = sub.snapshot();
+        assert!(snap.complete, "the stream passed the interval end");
+        assert!(snap.records.iter().all(|&r| r <= 19));
+        // Unsubscribing removes it; the id stops resolving.
+        assert!(registry.unsubscribe(id));
+        assert!(!registry.unsubscribe(id));
+        assert!(registry.get(id).is_none());
+    }
+}

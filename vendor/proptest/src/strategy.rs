@@ -52,6 +52,30 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                // The vendored rand stub samples half-open ranges only;
+                // widen from whichever side has room. (A full-domain
+                // inclusive range degrades to excluding `MAX` — no test
+                // uses one.)
+                if end < <$t>::MAX {
+                    rng.rng.random_range(start..end + 1)
+                } else if start > <$t>::MIN {
+                    rng.rng.random_range(start - 1..end) + 1
+                } else {
+                    rng.rng.random_range(start..end)
+                }
+            }
+        }
+    )*};
+}
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -70,6 +94,8 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
 
 /// Strategy producing a constant value, as `proptest::strategy::Just`.
 #[derive(Debug, Clone)]
