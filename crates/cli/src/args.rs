@@ -255,6 +255,32 @@ pub fn parse_storage(args: &Args) -> Result<StorageChoice, String> {
     }
 }
 
+/// Byte budget of the sealed-shard result cache when `--result-cache` is
+/// not given (32 MiB).
+pub const DEFAULT_RESULT_CACHE_BYTES: usize = 32 * 1024 * 1024;
+
+/// Parses `--result-cache <bytes>|off`: the byte budget of the sealed-shard
+/// result cache the live modes (`--stream` replay and `serve`) put in front
+/// of their sealed tails. `None` means the cache is disabled.
+pub fn parse_result_cache(args: &Args) -> Result<Option<usize>, String> {
+    if args.switches.iter().any(|s| s == "result-cache") {
+        return Err("--result-cache needs a value: a byte budget or off".to_string());
+    }
+    match args.options.get("result-cache").map(String::as_str) {
+        None => Ok(Some(DEFAULT_RESULT_CACHE_BYTES)),
+        Some("off") => Ok(None),
+        Some(v) => {
+            let bytes: usize = v.parse().map_err(|_| {
+                format!("--result-cache: cannot parse {v:?} (expected a byte budget or off)")
+            })?;
+            if bytes == 0 {
+                return Err("--result-cache must be at least 1 byte (use off to disable)".into());
+            }
+            Ok(Some(bytes))
+        }
+    }
+}
+
 /// Largest worker count the CLI accepts (a typo guard, not a scheduler).
 pub const MAX_THREADS: usize = 1024;
 
@@ -390,6 +416,31 @@ mod tests {
         assert!(err.contains("--storage paged"), "err={err}");
         assert!(parse_storage(&parse("serve f.csv --storage paged --spill-after 0")).is_err());
         assert!(parse_storage(&parse("serve f.csv --storage paged --spill-after lots")).is_err());
+    }
+
+    #[test]
+    fn result_cache_validation() {
+        assert_eq!(
+            parse_result_cache(&parse("serve f.csv")).expect("default"),
+            Some(DEFAULT_RESULT_CACHE_BYTES)
+        );
+        assert_eq!(
+            parse_result_cache(&parse("serve f.csv --result-cache 4194304")).expect("bytes"),
+            Some(4_194_304)
+        );
+        assert_eq!(
+            parse_result_cache(&parse("serve f.csv --result-cache off")).expect("off"),
+            None
+        );
+        let err = parse_result_cache(&parse("serve f.csv --result-cache 0"))
+            .expect_err("zero budget must fail");
+        assert!(err.contains("off"), "err={err}");
+        let err = parse_result_cache(&parse("serve f.csv --result-cache lots"))
+            .expect_err("non-numeric must fail");
+        assert!(err.contains("lots"), "err={err}");
+        let err = parse_result_cache(&parse("serve f.csv --result-cache"))
+            .expect_err("missing value must fail");
+        assert!(err.contains("byte budget"), "err={err}");
     }
 
     #[test]

@@ -11,8 +11,8 @@
 mod args;
 
 use args::{
-    parse_algorithms, parse_range, parse_serve, parse_storage, parse_stream, parse_threads,
-    parse_weights, Args, StorageChoice,
+    parse_algorithms, parse_range, parse_result_cache, parse_serve, parse_storage, parse_stream,
+    parse_threads, parse_weights, Args, StorageChoice,
 };
 use durable_topk::{
     Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine,
@@ -37,10 +37,12 @@ USAGE:
                              [--threads N] [--lookahead] [--durations] [--limit N]
                              [--stream [--every M]]
                              [--storage memory|paged] [--spill-after N]
+                             [--result-cache BYTES|off]
   durable-topk serve    FILE --k K --tau T [--weights ..] [--alg ..]
                              [--clients C] [--requests R] [--queue-cap Q]
                              [--reject] [--ingest M] [--subscribe S]
                              [--storage memory|paged] [--spill-after N]
+                             [--result-cache BYTES|off]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
@@ -63,7 +65,10 @@ sealed-shard backend for the live modes (--stream and serve): `memory`
 (default) keeps every sealed chunk resident; `paged` spills chunks beyond
 the newest --spill-after (default 4) to pager-backed pages in a temporary
 file, reloading them transparently — and bit-identically — at query
-time.";
+time. --result-cache puts a byte-budgeted memoization cache in front of
+the sealed shards of the live modes: repeated full-range probes of an
+immutable tail replay their answer without touching storage (default
+33554432 bytes = 32 MiB; `off` disables it).";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -141,6 +146,14 @@ fn apply_storage(engine: ShardedEngine, storage: StorageChoice) -> Result<Sharde
                 .map_err(|e| format!("--storage paged: {e}"))?;
             Ok(engine.with_storage(std::sync::Arc::new(backend)))
         }
+    }
+}
+
+/// Applies the `--result-cache` selection to a freshly built live engine.
+fn apply_result_cache(engine: ShardedEngine, budget: Option<usize>) -> ShardedEngine {
+    match budget {
+        None => engine,
+        Some(bytes) => engine.with_result_cache(bytes),
     }
 }
 
@@ -234,12 +247,16 @@ fn query(args: &Args) -> Result<(), String> {
     let threads = parse_threads(args)?;
     let stream = parse_stream(args, &algs)?;
     let storage = parse_storage(args)?;
+    let result_cache = parse_result_cache(args)?;
     if stream.is_none()
         && (args.options.contains_key("storage") || args.options.contains_key("spill-after"))
     {
         return Err(
             "--storage/--spill-after select the live engine's backend; add --stream".to_string()
         );
+    }
+    if stream.is_none() && args.options.contains_key("result-cache") {
+        return Err("--result-cache configures the live engine; add --stream".to_string());
     }
     let scorer = scorer_for(args, ds.dim())?;
     let limit: usize = args.parse_or("limit", 50)?;
@@ -249,7 +266,7 @@ fn query(args: &Args) -> Result<(), String> {
     }
     let q = DurableQuery { k, tau, interval };
     if let Some(mode) = stream {
-        return stream_replay(&ds, algs[0], &scorer, &q, mode, storage, limit);
+        return stream_replay(&ds, algs[0], &scorer, &q, mode, storage, result_cache, limit);
     }
 
     let mut engine = DurableTopKEngine::new(ds);
@@ -308,6 +325,7 @@ fn query(args: &Args) -> Result<(), String> {
 /// (`--stream`), interleaving appends with progress queries and finishing
 /// with the full query — the ingestion-time view of the same answer the
 /// offline path computes at rest.
+#[allow(clippy::too_many_arguments)]
 fn stream_replay(
     ds: &durable_topk::Dataset,
     alg: Algorithm,
@@ -315,6 +333,7 @@ fn stream_replay(
     q: &DurableQuery,
     mode: args::StreamMode,
     storage: StorageChoice,
+    result_cache: Option<usize>,
     limit: usize,
 ) -> Result<(), String> {
     let n = ds.len();
@@ -327,6 +346,7 @@ fn stream_replay(
         engine = engine.with_skyband_bound(q.k);
     }
     engine = apply_storage(engine, storage)?;
+    engine = apply_result_cache(engine, result_cache);
 
     let started = std::time::Instant::now();
     for id in 0..n as u32 {
@@ -363,6 +383,14 @@ fn stream_replay(
             "storage: {} sealed chunks ({} resident, {} spilled), {} cold fetches, \
              {} cold page reads",
             st.chunks, st.resident_chunks, st.spilled_chunks, st.cold_fetches, st.cold_page_reads,
+        );
+    }
+    if let Some(cache) = engine.result_cache() {
+        let cs = cache.stats();
+        println!(
+            "result cache: cache-hits={} cache-misses={} cache-evictions={} cache-bytes={} \
+             entries={}",
+            cs.hits, cs.misses, cs.evictions, cs.resident_bytes, cs.entries,
         );
     }
     println!(
@@ -447,6 +475,7 @@ fn serve(args: &Args) -> Result<(), String> {
         engine = engine.with_skyband_bound(k);
     }
     engine = apply_storage(engine, parse_storage(args)?)?;
+    engine = apply_result_cache(engine, parse_result_cache(args)?);
     for id in 0..base {
         engine.append(ds.row(id as u32));
     }
@@ -611,15 +640,22 @@ fn serve(args: &Args) -> Result<(), String> {
     // `fallbacks=` is machine-checked by the CI serve smoke: with a
     // skyband bound covering the sweep, any nonzero count means an index
     // went missing somewhere on the ingestion timeline.
+    // `cache-hits=` is likewise grepped nonzero by the smoke when the
+    // result cache is on: the deterministic sweep revisits sealed shards.
     println!(
         "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, {} rejected, \
-         fallbacks={fallbacks}, cold-page-hits={}, subs={} refreshes={} fast-path-skips={} \
+         fallbacks={fallbacks}, cold-page-hits={}, cache-hits={} cache-misses={} \
+         cache-evictions={} cache-bytes={}, subs={} refreshes={} fast-path-skips={} \
          full-recomputes={}",
         stats.completed,
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
         samples.len(),
         rejected,
         stats.cold_page_hits,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_bytes,
         stats.subscriptions,
         stats.refreshes,
         stats.fast_path_skips,

@@ -89,6 +89,11 @@ pub struct QueryContext {
     pub(crate) processed: StampSet,
     /// S-Hop's subinterval arena, exposure heap and item-vector pool.
     pub(crate) shop: ShopScratch,
+    /// Cold page reads paid by building-block probes
+    /// ([`ShardedEngine::top_k_into`](crate::ShardedEngine::top_k_into))
+    /// since the last [`take_cold_page_hits`](QueryContext::take_cold_page_hits)
+    /// — the stats channel the per-query path does not have.
+    pub(crate) cold_page_hits: u64,
 }
 
 impl QueryContext {
@@ -103,6 +108,15 @@ impl QueryContext {
         let records = self.answers.clone();
         self.answers.clear();
         records
+    }
+
+    /// Drains the cold page reads accumulated by building-block probes
+    /// ([`ShardedEngine::top_k_into`](crate::ShardedEngine::top_k_into))
+    /// run through this context since the last drain. Callers surface the
+    /// count through [`QueryStats::cold_page_hits`](crate::QueryStats) —
+    /// the streaming scan fallback and the subscription refresh path do.
+    pub fn take_cold_page_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.cold_page_hits)
     }
 }
 

@@ -12,7 +12,7 @@ use durable_topk_temporal::{Anchor, Dataset, RecordId, Time, Window};
 use std::sync::Arc;
 
 /// Which durable top-k algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Time-prioritized baseline (Section III-A).
     TBase,

@@ -48,6 +48,7 @@ pub mod error;
 pub mod oracle;
 pub mod pool;
 pub mod query;
+pub mod result_cache;
 pub mod serve;
 pub mod sharded;
 pub mod storage;
@@ -62,6 +63,7 @@ pub use error::{BuildError, QueryError};
 pub use oracle::{ForestOracle, ScanOracle, SegTreeOracle, TopKOracle};
 pub use pool::WorkerPool;
 pub use query::{DurableQuery, FallbackReason, QueryResult, QueryStats};
+pub use result_cache::{ResultCacheStats, ShardResultCache};
 pub use serve::{
     Backpressure, ResponseHandle, ScorerSpec, ServeEngine, ServeError, ServeRequest, ServeResponse,
     ServeStats,

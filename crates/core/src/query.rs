@@ -122,6 +122,15 @@ pub struct QueryStats {
     /// [`PagedStorage`](crate::PagedStorage) it counts the cold-tier cost
     /// the query actually paid).
     pub cold_page_hits: u64,
+    /// Per-shard probes answered from the sealed-shard result cache
+    /// (each one skipped its `storage.fetch` and its algorithm run
+    /// entirely). Always `0` without a cache configured — see
+    /// [`ShardedEngine::with_result_cache`](crate::ShardedEngine::with_result_cache).
+    pub cache_hits: u64,
+    /// Cacheable per-shard probes that ran because no memoized answer
+    /// existed yet (uncacheable probes — boundary pieces, unfingerprintable
+    /// scorers, head/pending shards — count as neither hit nor miss).
+    pub cache_misses: u64,
     /// Set when the engine substituted a different execution for the
     /// requested one, carrying why (see [`FallbackReason`]); `None` means
     /// the requested algorithm served the query natively.
@@ -149,6 +158,8 @@ impl QueryStats {
         self.candidates += other.candidates;
         self.blocked_skips += other.blocked_skips;
         self.cold_page_hits += other.cold_page_hits;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.fallback = match (self.fallback, other.fallback) {
             (Some(mine), Some(theirs)) if mine.is_expected() && !theirs.is_expected() => {
                 Some(theirs)

@@ -73,6 +73,40 @@ pub enum ScorerSpec {
     Custom(Arc<dyn OracleScorer + Send + Sync>),
 }
 
+impl ScorerSpec {
+    /// The structural fingerprint of the scorer this spec resolves to for
+    /// a `dim`-attribute engine — what the sealed-shard result cache keys
+    /// memoized answers on (see
+    /// [`ShardedEngine::with_result_cache`](crate::ShardedEngine::with_result_cache)).
+    ///
+    /// `Uniform`, `Linear` and `Cosine` hash their resolved weight vectors
+    /// bit-exactly; `Custom` reports whatever the trait object's
+    /// [`fingerprint`](OracleScorer::fingerprint) returns — `None` by
+    /// default, so opaque closures bypass the cache. Specs that would fail
+    /// resolution (wrong arity, invalid weights) return `None` rather than
+    /// panicking.
+    pub fn fingerprint(&self, dim: usize) -> Option<u64> {
+        use durable_topk_temporal::{CosineScorer, LinearScorer};
+        match self {
+            ScorerSpec::Uniform => LinearScorer::uniform(dim).fingerprint(),
+            ScorerSpec::Linear(w)
+                if w.len() == dim && w.iter().all(|x| x.is_finite() && *x >= 0.0) =>
+            {
+                LinearScorer::new(w.clone()).fingerprint()
+            }
+            ScorerSpec::Cosine(w)
+                if w.len() == dim
+                    && w.iter().all(|x| x.is_finite())
+                    && w.iter().map(|x| x * x).sum::<f64>() > 0.0 =>
+            {
+                CosineScorer::new(w.clone()).fingerprint()
+            }
+            ScorerSpec::Custom(s) => s.fingerprint(),
+            _ => None,
+        }
+    }
+}
+
 // Manual `Debug`: the custom trait object carries no `Debug` bound.
 impl std::fmt::Debug for ScorerSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -238,6 +272,17 @@ pub struct ServeStats {
     /// saturation signal of the subscription workload, mirroring
     /// [`max_depth`](ServeStats::max_depth) for the request queue.
     pub max_refresh_inflight: u64,
+    /// Sealed-shard result-cache hits across all traffic through the
+    /// engine (requests, subscription seal-boundary recomputes) — each
+    /// one skipped a per-shard probe *and* its `storage.fetch`. All four
+    /// cache counters stay `0` when no cache is configured.
+    pub cache_hits: u64,
+    /// Cacheable per-shard probes that ran and memoized their answer.
+    pub cache_misses: u64,
+    /// Cache entries evicted to stay under the byte budget.
+    pub cache_evictions: u64,
+    /// Estimated bytes of memoized answers currently resident.
+    pub cache_bytes: u64,
 }
 
 struct Shared {
@@ -340,6 +385,10 @@ impl Shared {
                 sub.verify(&engine);
             }
         }));
+        // Building-block probes report their cold reads through the
+        // context scratch; fold them into the serving ledger alongside the
+        // per-request counts.
+        self.counters.cold_page_hits.fetch_add(ctx.take_cold_page_hits(), Ordering::Relaxed);
         if outcome.is_err() {
             for sub in plan.probes.iter().chain(&plan.verifies) {
                 sub.mark_diverged();
@@ -637,6 +686,8 @@ impl ServeEngine {
     /// A snapshot of the queue-depth, latency, and subscription counters.
     pub fn stats(&self) -> ServeStats {
         let depth = lock(&self.shared.state).queue.len();
+        let cache =
+            self.shared.read_engine().result_cache().map(|cache| cache.stats()).unwrap_or_default();
         let totals: SubscriptionTotals = lock(&self.shared.subs).totals();
         let c = &self.shared.counters;
         ServeStats {
@@ -654,6 +705,10 @@ impl ServeEngine {
             fast_path_skips: totals.fast_path_skips,
             full_recomputes: totals.full_recomputes,
             max_refresh_inflight: c.max_refresh_inflight.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.resident_bytes,
         }
     }
 }

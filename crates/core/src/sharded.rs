@@ -47,6 +47,7 @@ use crate::error::{BuildError, QueryError};
 use crate::oracle::{ForestOracle, SegTreeOracle, TopKOracle};
 use crate::pool::WorkerPool;
 use crate::query::{DurableQuery, QueryResult, QueryStats};
+use crate::result_cache::{next_shard_gen, CacheKey, ShardResultCache};
 use crate::storage::{ChunkId, MemoryStorage, ShardStorage};
 use crate::sync::OnceSlot;
 use durable_topk_index::{
@@ -74,6 +75,11 @@ struct Shard {
     lo: Time,
     /// Last global id the shard owns.
     hi: Time,
+    /// Process-global, never-reused generation id keying this shard's
+    /// entries in the [`ShardResultCache`]: re-sealing, storage migration
+    /// or any other shard replacement stamps a fresh generation, so stale
+    /// memoized answers can never be probed again.
+    generation: u64,
 }
 
 /// The mutable ingestion shard: `max_tau` records of left context plus
@@ -179,7 +185,15 @@ fn run_seal(snap: &HeadSnapshot, storage: &Arc<dyn ShardStorage>) -> Shard {
         snap.k_max.map(|k_max| DurableSkybandIndex::build(&snap.ds, k_max))
     });
     let chunk = storage.store(Arc::clone(&snap.ds));
-    Shard { oracle, skyband, chunk, ext_lo: snap.ext_lo, lo: snap.lo, hi: snap.hi }
+    Shard {
+        oracle,
+        skyband,
+        chunk,
+        ext_lo: snap.ext_lo,
+        lo: snap.lo,
+        hi: snap.hi,
+        generation: next_shard_gen(),
+    }
 }
 
 /// Head-forest merge cap for a given shard span (see
@@ -218,6 +232,10 @@ pub struct ShardedEngine {
     /// Leaf granularity of the head forest and sealed trees.
     leaf_size: usize,
     seal_mode: SealMode,
+    /// Memoized immutable per-shard answers, consulted by the `Job::Tail`
+    /// arm of [`try_query`](ShardedEngine::try_query) before `storage.fetch`
+    /// — `None` (the default) disables memoization entirely.
+    result_cache: Option<Arc<ShardResultCache>>,
     /// Head rotations so far — bumps when a full head is handed off for
     /// sealing. Standing-query consumers compare epochs across appends to
     /// notice a freshly crossed shard boundary.
@@ -295,6 +313,7 @@ impl ShardedEngine {
             k_max: None,
             leaf_size,
             seal_mode: SealMode::Background,
+            result_cache: None,
             seal_epoch: 0,
             retired_queries: std::sync::atomic::AtomicU64::new(0),
         })
@@ -332,6 +351,9 @@ impl ShardedEngine {
         for shard in &mut self.tails {
             let (chunk, _) = self.storage.fetch(shard.chunk);
             shard.chunk = storage.store(chunk);
+            // A migrated shard is a new cache identity: its old entries
+            // age out of the result cache instead of being flushed.
+            shard.generation = next_shard_gen();
         }
         self.storage = storage;
         self
@@ -343,6 +365,27 @@ impl ShardedEngine {
     /// decoded footprint).
     pub fn storage(&self) -> &Arc<dyn ShardStorage> {
         &self.storage
+    }
+
+    /// Enables the sealed-shard result cache with the given byte budget:
+    /// per-shard partial answers of [`try_query`](ShardedEngine::try_query)
+    /// over a sealed tail's full owned range are memoized by
+    /// `(shard generation, algorithm, scorer fingerprint, k, τ)` and
+    /// replayed on repeat probes — *before* `storage.fetch`, so a hit
+    /// never faults spilled pages back in. Answers are bit-identical with
+    /// and without the cache at every point of the ingestion timeline;
+    /// scorers without a structural fingerprint (opaque
+    /// [`ScorerSpec::Custom`](crate::ScorerSpec) closures) bypass it.
+    pub fn with_result_cache(mut self, budget_bytes: usize) -> Self {
+        self.result_cache = Some(Arc::new(ShardResultCache::new(budget_bytes)));
+        self
+    }
+
+    /// The sealed-shard result cache, if one is configured (its
+    /// [`stats`](ShardResultCache::stats) expose hits, misses, evictions
+    /// and residency).
+    pub fn result_cache(&self) -> Option<&Arc<ShardResultCache>> {
+        self.result_cache.as_ref()
     }
 
     /// Partitions `ds` into `shard_count` contiguous time shards (capped at
@@ -429,6 +472,7 @@ impl ShardedEngine {
                 ext_lo,
                 lo,
                 hi,
+                generation: next_shard_gen(),
             })
             .collect();
 
@@ -445,6 +489,7 @@ impl ShardedEngine {
             k_max,
             leaf_size: DEFAULT_LEAF_SIZE,
             seal_mode: SealMode::Background,
+            result_cache: None,
             seal_epoch: 0,
             retired_queries: std::sync::atomic::AtomicU64::new(0),
         };
@@ -776,9 +821,38 @@ impl ShardedEngine {
             }
         }
 
+        // One fingerprint per query, not per shard: `None` (no cache, or
+        // an unfingerprintable scorer) makes every tail probe bypass the
+        // cache — neither a hit nor a miss.
+        let scorer_fp = self.result_cache.as_ref().and_then(|_| scorer.fingerprint());
+
         let partials =
             WorkerPool::global().run_jobs(jobs.len(), jobs.len(), |i, ctx| match &jobs[i] {
                 Job::Tail(shard, local) => {
+                    // A sealed tail's answer over its FULL owned range is a
+                    // pure function of (shard, alg, scorer, k, τ) — consult
+                    // the result cache before touching storage, so a hit
+                    // never faults spilled pages back in. Boundary pieces
+                    // (the query interval clips the owned range) always
+                    // probe: their answers depend on the interval, which is
+                    // deliberately not part of the key.
+                    let full_range = Window::new(shard.lo - shard.ext_lo, shard.hi - shard.ext_lo);
+                    let cached = match (&self.result_cache, scorer_fp) {
+                        (Some(cache), Some(fp)) if local.interval == full_range => {
+                            let key = CacheKey {
+                                shard_gen: shard.generation,
+                                alg,
+                                scorer: fp,
+                                k: local.k,
+                                tau: local.tau,
+                            };
+                            if let Some(hit) = cache.get(&key) {
+                                return hit;
+                            }
+                            Some((cache, key))
+                        }
+                        _ => None,
+                    };
                     // Resident chunks come back as a free Arc clone; a
                     // spilled one faults its pages in, and the query's
                     // stats carry the physical reads it paid.
@@ -792,6 +866,13 @@ impl ShardedEngine {
                         local,
                         ctx,
                     );
+                    if let Some((cache, key)) = cached {
+                        // Snapshot before the cold-read accounting below: a
+                        // future hit skips storage, so it must replay with
+                        // zero cold-page hits.
+                        cache.insert(key, &result.records, result.stats);
+                        result.stats.cache_misses += 1;
+                    }
                     result.stats.cold_page_hits += cold;
                     result
                 }
@@ -805,8 +886,10 @@ impl ShardedEngine {
 
         // Merge: map local ids home and concatenate. Shards own disjoint,
         // increasing time ranges, so per-shard sorted answers concatenate
-        // into a globally sorted answer set.
-        let mut records = Vec::new();
+        // into a globally sorted answer set. One exact reservation up
+        // front instead of per-shard growth doublings.
+        let total: usize = partials.iter().map(|p| p.records.len()).sum();
+        let mut records = Vec::with_capacity(total);
         let mut stats = QueryStats::default();
         for (job, partial) in jobs.iter().zip(partials) {
             let ext_lo = match job {
@@ -851,11 +934,14 @@ impl ShardedEngine {
         for shard in &self.tails {
             if let Some(piece) = w.intersect(Window::new(shard.lo, shard.hi)) {
                 let local = Window::new(piece.start() - shard.ext_lo, piece.end() - shard.ext_lo);
-                // Cold-read counts are dropped here (no stats channel on
-                // the building-block path); the storage backend's own
-                // counters still record them.
-                let (chunk, _cold) = self.storage.fetch(shard.chunk);
+                // The building-block path has no per-query stats channel,
+                // so cold reads accumulate in the context's scratch;
+                // callers drain them into `QueryStats::cold_page_hits` via
+                // `QueryContext::take_cold_page_hits`.
+                let (chunk, cold) = self.storage.fetch(shard.chunk);
+                ctx.cold_page_hits += cold;
                 shard.oracle.tree().top_k_with(&chunk, scorer, k, local, &mut ctx.oracle, out);
+                merge.reserve(out.items.len());
                 merge.extend(out.items.iter().map(|&(id, s)| (id + shard.ext_lo, s)));
             }
         }
@@ -864,6 +950,7 @@ impl ShardedEngine {
             if let Some(piece) = w.intersect(Window::new(snap.lo, snap.hi)) {
                 let local = Window::new(piece.start() - snap.ext_lo, piece.end() - snap.ext_lo);
                 snap.index.top_k_with(&snap.ds, scorer, k, local, &mut ctx.oracle, out);
+                merge.reserve(out.items.len());
                 merge.extend(out.items.iter().map(|&(id, s)| (id + snap.ext_lo, s)));
             }
         }
@@ -873,6 +960,7 @@ impl ShardedEngine {
                 let local =
                     Window::new(piece.start() - self.head.ext_lo, piece.end() - self.head.ext_lo);
                 self.head.index.top_k_with(&self.head.ds, scorer, k, local, &mut ctx.oracle, out);
+                merge.reserve(out.items.len());
                 merge.extend(out.items.iter().map(|&(id, s)| (id + self.head.ext_lo, s)));
             }
         }

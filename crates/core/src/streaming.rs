@@ -145,6 +145,16 @@ impl StreamingMonitor {
         Self { engine: engine.with_skyband_bound(k_max), history, ctx, probe, subs }
     }
 
+    /// Builder: enables the backing engine's sealed-shard result cache
+    /// with the given byte budget (see
+    /// [`ShardedEngine::with_result_cache`]) — repeated historical
+    /// `DurTop` queries replay memoized per-shard answers instead of
+    /// re-probing sealed tails.
+    pub fn with_result_cache(self, budget_bytes: usize) -> Self {
+        let Self { engine, history, ctx, probe, subs } = self;
+        Self { engine: engine.with_result_cache(budget_bytes), history, ctx, probe, subs }
+    }
+
     /// Bootstraps the monitor from existing history. The given dataset
     /// seeds the history cache directly (preserving any wall-clock
     /// column), so no copy is rebuilt from the shards later.
@@ -187,6 +197,15 @@ impl StreamingMonitor {
     /// The backing live sharded engine (shard counts, direct queries).
     pub fn engine(&self) -> &ShardedEngine {
         &self.engine
+    }
+
+    /// Cumulative physical page reads the per-arrival classification and
+    /// subscription-refresh probes of [`push`](StreamingMonitor::push)
+    /// paid to fault spilled chunks back in — the building-block path's
+    /// cold-read ledger (always `0` under
+    /// [`MemoryStorage`](crate::MemoryStorage)).
+    pub fn probe_cold_page_hits(&self) -> u64 {
+        self.ctx.cold_page_hits
     }
 
     /// Waits out every in-flight background shard seal of the backing
@@ -311,6 +330,10 @@ impl StreamingMonitor {
             t_hop(&history, &oracle, scorer, query, &mut ctx)
         };
         result.stats.fallback = Some(FallbackReason::TauBeyondOverlap);
+        // The oracle's probes ran through `top_k_into`, whose cold reads
+        // land in the context scratch rather than per-probe stats; drain
+        // them so the fallback's answer carries its real cold-tier cost.
+        result.stats.cold_page_hits += oracle.ctx.into_inner().take_cold_page_hits();
         result
     }
 

@@ -31,8 +31,8 @@ pub mod sliding;
 pub use blocking::BlockingSet;
 pub use forest::AppendableTopKIndex;
 pub use segtree::{
-    scan_top_k, scan_top_k_into, NodeSummary, OracleScorer, OracleScratch, OrdF64, QueryCounters,
-    SkylineSegTree, TopKResult, DEFAULT_LEAF_SIZE,
+    scan_top_k, scan_top_k_into, structural_fingerprint, NodeSummary, OracleScorer, OracleScratch,
+    OrdF64, QueryCounters, SkylineSegTree, TopKResult, DEFAULT_LEAF_SIZE,
 };
 pub use skyband_index::{DurableSkybandIndex, IncrementalSkybandIndex, SkybandCandidates};
 pub use sliding::SkybandBuffer;

@@ -108,6 +108,43 @@ impl NodeSummary {
 pub trait OracleScorer: Scorer {
     /// An upper bound on the score of any record summarized by `node`.
     fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64;
+
+    /// A structural fingerprint of the scoring function, or `None` when it
+    /// has no canonical structure (opaque custom scorers).
+    ///
+    /// The contract is one-directional: two scorers returning the *same*
+    /// fingerprint must score every record bit-identically — memoization
+    /// layers (the sealed-shard result cache) key cached answers on it.
+    /// Parameters are canonicalized bit-exactly through `f64::to_bits`
+    /// (the same total-order view [`OrdF64`] takes), so distinct weight
+    /// vectors never alias. The default is `None`: an unfingerprintable
+    /// scorer simply bypasses caches, which costs performance, never
+    /// correctness.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Order-sensitive FNV-1a over a scorer-family tag and parameter words —
+/// the canonicalization behind [`OracleScorer::fingerprint`]. Word-at-a-time
+/// mixing is deliberate: the fingerprint needs collision resistance between
+/// *structurally different* scorers, not cryptographic strength.
+pub fn structural_fingerprint(tag: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = (0xcbf2_9ce4_8422_2325u64 ^ tag).wrapping_mul(PRIME);
+    for w in words {
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Family tags feeding [`structural_fingerprint`]; distinct per scorer type
+/// so equal parameter vectors under different families never collide.
+mod fingerprint_tag {
+    pub(super) const LINEAR: u64 = 1;
+    pub(super) const MONOTONE_COMBINATION: u64 = 2;
+    pub(super) const SINGLE_ATTRIBUTE: u64 = 3;
+    pub(super) const COSINE: u64 = 4;
 }
 
 /// Exact bound for monotone scorers: the max score over the node is attained
@@ -124,17 +161,39 @@ impl OracleScorer for LinearScorer {
     fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
         skyline_bound(self, ds, node)
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(structural_fingerprint(
+            fingerprint_tag::LINEAR,
+            self.weights().iter().map(|w| w.to_bits()),
+        ))
+    }
 }
 
 impl OracleScorer for MonotoneCombinationScorer {
     fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
         skyline_bound(self, ds, node)
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // Interleave weight bits with transform discriminants so
+        // reordering transforms across attributes changes the print.
+        let words = self
+            .weights()
+            .iter()
+            .zip(self.transforms())
+            .flat_map(|(w, tr)| [w.to_bits(), *tr as u64]);
+        Some(structural_fingerprint(fingerprint_tag::MONOTONE_COMBINATION, words))
+    }
 }
 
 impl OracleScorer for SingleAttributeScorer {
     fn node_bound(&self, ds: &Dataset, node: &NodeSummary) -> f64 {
         skyline_bound(self, ds, node)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(structural_fingerprint(fingerprint_tag::SINGLE_ATTRIBUTE, [self.attr() as u64]))
     }
 }
 
@@ -160,6 +219,15 @@ impl OracleScorer for CosineScorer {
         } else {
             num / (wn * node.norm_max)
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // `norm` is derived from the weights, so the weights alone pin the
+        // function bit-exactly.
+        Some(structural_fingerprint(
+            fingerprint_tag::COSINE,
+            self.weights().iter().map(|w| w.to_bits()),
+        ))
     }
 }
 

@@ -141,6 +141,16 @@ impl MonotoneCombinationScorer {
         let transforms = vec![MonotoneTransform::Log1p; weights.len()];
         Self::new(weights, transforms)
     }
+
+    /// The preference vector `u`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The per-attribute transforms `h_i`, one per weight.
+    pub fn transforms(&self) -> &[MonotoneTransform] {
+        &self.transforms
+    }
 }
 
 impl Scorer for MonotoneCombinationScorer {
@@ -226,6 +236,11 @@ impl SingleAttributeScorer {
     /// Scores by attribute `attr`.
     pub fn new(attr: usize) -> Self {
         Self { attr }
+    }
+
+    /// The scored attribute's index.
+    pub fn attr(&self) -> usize {
+        self.attr
     }
 }
 
