@@ -1,0 +1,187 @@
+//! The checked-build tracking engine: per-thread held-sets, the global
+//! lock-order graph with witnesses, rank-inversion panics, and seeded
+//! schedule perturbation.
+
+use super::LockClass;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Tracking is compiled into this build.
+pub(crate) const ENABLED: bool = true;
+
+/// Per-guard metadata: which class it holds and a unique token so releases
+/// out of LIFO order (guards dropped in arbitrary order) pop the right
+/// entry.
+#[derive(Clone, Copy)]
+pub(crate) struct Meta {
+    class: LockClass,
+    token: u64,
+}
+
+thread_local! {
+    /// The classes this thread currently holds, oldest first.
+    static HELD: RefCell<Vec<(LockClass, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread counter feeding the yield-injection hash.
+    static YIELD_CTR: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+static MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+static YIELD_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Who first established a lock-order edge, and what they held doing it.
+struct Witness {
+    thread: String,
+    stack: Vec<LockClass>,
+}
+
+/// The global lock-order graph: `(from, to)` means some thread acquired
+/// `to` while holding `from`. Guarded by a *raw* mutex — the checker's own
+/// bookkeeping must not recurse into the checker.
+fn edges() -> &'static Mutex<HashMap<(LockClass, LockClass), Witness>> {
+    static EDGES: OnceLock<Mutex<HashMap<(LockClass, LockClass), Witness>>> = OnceLock::new();
+    EDGES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn thread_name() -> String {
+    let current = std::thread::current();
+    match current.name() {
+        Some(name) => name.to_string(),
+        None => format!("{:?}", current.id()),
+    }
+}
+
+fn fmt_stack(stack: &[LockClass]) -> String {
+    if stack.is_empty() {
+        return "(nothing)".to_string();
+    }
+    stack.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" -> ")
+}
+
+/// Registers an acquisition: yield perturbation, rank check (panics on
+/// inversion with both threads' stacks), edge recording, counters.
+pub(crate) fn acquire(class: LockClass) -> Meta {
+    maybe_yield(class);
+    let stack: Vec<LockClass> = HELD.with(|h| h.borrow().iter().map(|&(c, _)| c).collect());
+    if let Some(&blocking) = stack.iter().find(|c| c.rank() >= class.rank()) {
+        panic!("{}", inversion_report(class, blocking, &stack));
+    }
+    record_edges(class, &stack);
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let depth = HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        held.push((class, token));
+        held.len() as u64
+    });
+    MAX_DEPTH.fetch_max(depth, Ordering::Relaxed);
+    Meta { class, token }
+}
+
+/// Re-registers a class after a condvar wait (the wait released it).
+pub(crate) fn reacquire(meta: Meta) -> Meta {
+    acquire(meta.class)
+}
+
+/// Pops one acquisition off the thread's held-set.
+pub(crate) fn release(meta: Meta) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(_, token)| token == meta.token) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Records `held -> class` edges, quoting this thread as the witness for
+/// any edge seen for the first time. Every recorded edge goes strictly
+/// rank-upward (the rank check ran first), so the graph stays acyclic by
+/// construction — a contradiction is caught *before* it can enter the
+/// graph, with the recorded witness for the opposite direction quoted in
+/// the panic.
+fn record_edges(class: LockClass, stack: &[LockClass]) {
+    if stack.is_empty() {
+        return;
+    }
+    let mut graph = edges().lock().unwrap_or_else(PoisonError::into_inner);
+    for &from in stack {
+        graph.entry((from, class)).or_insert_with(|| {
+            let mut witness_stack = stack.to_vec();
+            witness_stack.push(class);
+            Witness { thread: thread_name(), stack: witness_stack }
+        });
+    }
+}
+
+/// Builds the inversion panic message: the offending thread's stack, the
+/// witness cycle, and — when another thread already established the
+/// opposite order — that thread's recorded stack.
+fn inversion_report(class: LockClass, blocking: LockClass, stack: &[LockClass]) -> String {
+    let mut msg = format!(
+        "lock-order inversion: thread \"{}\" acquiring {} while holding {}\n  held here: {}",
+        thread_name(),
+        class,
+        blocking,
+        fmt_stack(stack),
+    );
+    if class == blocking {
+        msg.push_str("\n  same-class nesting: two locks of one class are never held together");
+        return msg;
+    }
+    msg.push_str(&format!(
+        "\n  witness cycle: {} -> {} (this thread) vs {} -> {} (recorded order)",
+        blocking.name(),
+        class.name(),
+        class.name(),
+        blocking.name(),
+    ));
+    let graph = edges().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(witness) = graph.get(&(class, blocking)) {
+        msg.push_str(&format!(
+            "\n  order {} -> {} first established by thread \"{}\" holding: {}",
+            class.name(),
+            blocking.name(),
+            witness.thread,
+            fmt_stack(&witness.stack),
+        ));
+    }
+    msg
+}
+
+/// Seeded schedule perturbation: a splitmix-style hash of (seed, per-thread
+/// acquisition counter, class rank) picks 0–3 yields, so a given seed
+/// replays the same perturbation pattern per thread.
+fn maybe_yield(class: LockClass) {
+    let seed = YIELD_SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        return;
+    }
+    let n = YIELD_CTR.with(|c| {
+        let v = c.get().wrapping_add(1);
+        c.set(v);
+        v
+    });
+    let mut x = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((class.rank() as u64) << 32);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    for _ in 0..(x & 3) {
+        std::thread::yield_now();
+    }
+}
+
+pub(crate) fn set_seed(seed: u64) {
+    YIELD_SEED.store(seed, Ordering::Relaxed);
+}
+
+pub(crate) fn seed() -> u64 {
+    YIELD_SEED.load(Ordering::Relaxed)
+}
+
+/// `(total acquisitions, max held depth)` counters for [`super::report`].
+pub(crate) fn stats() -> (u64, u64) {
+    (ACQUISITIONS.load(Ordering::Relaxed), MAX_DEPTH.load(Ordering::Relaxed))
+}

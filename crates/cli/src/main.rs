@@ -673,6 +673,15 @@ fn serve(args: &Args) -> Result<(), String> {
         stats.total_queued.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
         stats.total_service.checked_div(stats.completed.max(1) as u32).unwrap_or_default(),
     );
+    // Lock-tracking stats: a no-op line in release builds (tracking off),
+    // the checker's acquisition count and deepest nesting in debug runs.
+    let check = durable_topk::check::report();
+    if check.enabled {
+        println!(
+            "lock-check: tracked-acquisitions={} max-held-depth={}",
+            check.tracked_acquisitions, check.max_held_depth
+        );
+    }
     Ok(())
 }
 

@@ -74,6 +74,8 @@ pub fn s_band<O: TopKOracle + ?Sized, C: SkybandCandidates + ?Sized, S: OracleSc
     scored.clear();
     scored.extend(candidates.drain(..).map(|id| (id, scorer.score(ds.row(id)))));
     scored.sort_unstable_by(|a, b| {
+        // lint: allow(expect) — documented scorer contract: scores are
+        // total-ordered (no NaN); see OracleScorer.
         b.1.partial_cmp(&a.1).expect("scores must not be NaN").then(a.0.cmp(&b.0))
     });
 

@@ -89,6 +89,8 @@ where
         Algorithm::SBase => s_base(ds, scorer, query, ctx),
         Algorithm::SBand => match sband_fallback_reason(skyband, scorer, query.k) {
             None => {
+                // lint: allow(expect) — sband_fallback_reason returned None,
+                // which requires the index to be present.
                 let idx = skyband.expect("reason checked Some");
                 s_band(ds, oracle, idx, scorer, query, ctx)
             }
@@ -276,6 +278,8 @@ impl DurableTopKEngine {
                 let rev = self
                     .reversed
                     .as_ref()
+                    // lint: allow(expect) — documented-panic API: the method
+                    // docs require with_lookahead() for look-ahead anchors.
                     .expect("look-ahead queries require with_lookahead() at engine build time");
                 let n = self.ds.len() as Time;
                 let interval = query.interval.clamp_to(self.ds.len());

@@ -56,6 +56,12 @@ pub mod streaming;
 pub mod subscribe;
 mod sync;
 
+/// Ranked lock tracking: the concurrency-invariant checker every internal
+/// lock is declared against (re-exported so binaries and tests can arm
+/// schedule perturbation via [`check::set_yield_seed`] and read
+/// [`check::report`]).
+pub use durable_topk_check as check;
+
 pub use batch::{batch_query, BatchExecutor};
 pub use context::QueryContext;
 pub use engine::{Algorithm, DurableTopKEngine};

@@ -20,13 +20,14 @@
 //! [`ShardedEngine`](crate::ShardedEngine); dedicated pools can be built
 //! for tests or isolation.
 
+use crate::check::{LockClass, TrackedCondvar, TrackedMutex};
 use crate::context::QueryContext;
 use crate::sync::lock;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// Worker threads spawned by every pool in this process, cumulatively.
@@ -66,7 +67,7 @@ type Chunk<'a, T> = (usize, &'a mut [Option<T>]);
 struct TypedWork<'a, T, F> {
     job: &'a F,
     /// Exclusive output chunks, popped by participants.
-    queue: Mutex<Vec<Chunk<'a, T>>>,
+    queue: TrackedMutex<Vec<Chunk<'a, T>>>,
 }
 
 impl<T, F> Work for TypedWork<'_, T, F>
@@ -128,10 +129,10 @@ enum Token {
 /// tokens that arrive after the batch completed observe `pending == 0`
 /// and never touch `work`, so stale tokens in the channel are harmless.
 struct Batch {
-    state: Mutex<BatchState>,
-    done: Condvar,
+    state: TrackedMutex<BatchState>,
+    done: TrackedCondvar,
     /// First panic payload observed by any participant.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panic: TrackedMutex<Option<Box<dyn Any + Send>>>,
     work: *const dyn Work,
 }
 
@@ -192,7 +193,7 @@ impl Batch {
     fn wait(&self) {
         let mut s = lock(&self.state);
         while s.pending > 0 || s.visitors > 0 {
-            s = self.done.wait(s).unwrap_or_else(PoisonError::into_inner);
+            s = self.done.wait(s);
         }
     }
 }
@@ -210,7 +211,7 @@ pub struct WorkerPool {
     workers: usize,
     /// Contexts loaned to submitting threads for their own participation,
     /// so repeated batches from the same caller stay allocation-free too.
-    spares: Mutex<Vec<QueryContext>>,
+    spares: TrackedMutex<Vec<QueryContext>>,
 }
 
 impl WorkerPool {
@@ -224,18 +225,25 @@ impl WorkerPool {
             threads
         };
         let (tx, rx) = channel::<Token>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(TrackedMutex::new(LockClass::PoolQueue, rx));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("durable-topk-worker-{i}"))
                     .spawn(move || worker_loop(&rx))
+                    // lint: allow(expect) — OS refusing to spawn at pool
+                    // construction is unrecoverable by design.
                     .expect("spawn pool worker")
             })
             .collect();
         THREADS_SPAWNED.fetch_add(workers as u64, Ordering::Relaxed);
-        Self { injector: Some(tx), handles, workers, spares: Mutex::new(Vec::new()) }
+        Self {
+            injector: Some(tx),
+            handles,
+            workers,
+            spares: TrackedMutex::new(LockClass::PoolQueue, Vec::new()),
+        }
     }
 
     /// The process-wide pool shared by [`BatchExecutor`](crate::BatchExecutor)
@@ -293,7 +301,8 @@ impl WorkerPool {
         let chunk_len = jobs.div_ceil(parallelism * 4);
         let typed = TypedWork {
             job: &job,
-            queue: Mutex::new(
+            queue: TrackedMutex::new(
+                LockClass::PoolQueue,
                 results
                     .chunks_mut(chunk_len)
                     .enumerate()
@@ -310,9 +319,9 @@ impl WorkerPool {
             )
         };
         let batch = Arc::new(Batch {
-            state: Mutex::new(BatchState { pending, visitors: 0 }),
-            done: Condvar::new(),
-            panic: Mutex::new(None),
+            state: TrackedMutex::new(LockClass::PoolQueue, BatchState { pending, visitors: 0 }),
+            done: TrackedCondvar::new(),
+            panic: TrackedMutex::new(LockClass::PoolQueue, None),
             work,
         });
         let helpers = (parallelism - 1).min(self.workers);
@@ -329,6 +338,8 @@ impl WorkerPool {
         if let Some(payload) = lock(&batch.panic).take() {
             std::panic::resume_unwind(payload);
         }
+        // lint: allow(expect) — `pending == 0` and no panic payload imply
+        // every output slot was filled by exactly one participant.
         results.into_iter().map(|r| r.expect("every chunk drained")).collect()
     }
 
@@ -387,7 +398,7 @@ impl Drop for WorkerPool {
 
 /// A worker: one persistent context, fed wake-up tokens until the pool
 /// closes its channel.
-fn worker_loop(rx: &Mutex<Receiver<Token>>) {
+fn worker_loop(rx: &TrackedMutex<Receiver<Token>>) {
     let mut ctx = QueryContext::new();
     loop {
         // Holding the lock while blocked is the classic shared-receiver
@@ -482,7 +493,8 @@ mod tests {
     #[test]
     fn detached_jobs_run_on_pool_workers() {
         let pool = WorkerPool::new(2);
-        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let pair =
+            Arc::new((TrackedMutex::new(LockClass::ServeQueue, 0usize), TrackedCondvar::new()));
         for _ in 0..16 {
             let pair = Arc::clone(&pair);
             assert!(pool.submit(move |_ctx| {
@@ -493,14 +505,15 @@ mod tests {
         }
         let mut done = lock(&pair.0);
         while *done < 16 {
-            done = pair.1.wait(done).unwrap_or_else(PoisonError::into_inner);
+            done = pair.1.wait(done);
         }
     }
 
     #[test]
     fn a_panicking_detached_job_costs_only_itself() {
         let pool = WorkerPool::new(1);
-        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair =
+            Arc::new((TrackedMutex::new(LockClass::ServeQueue, false), TrackedCondvar::new()));
         assert!(pool.submit(|_ctx| panic!("request blew up")));
         // The single worker must survive to run both the next detached job
         // and cooperative batches.
@@ -511,7 +524,7 @@ mod tests {
         }));
         let mut done = lock(&pair.0);
         while !*done {
-            done = pair.1.wait(done).unwrap_or_else(PoisonError::into_inner);
+            done = pair.1.wait(done);
         }
         drop(done);
         assert_eq!(pool.run_jobs(3, 3, |i, _ctx| i), vec![0, 1, 2]);

@@ -48,6 +48,7 @@ impl DurableQuery {
     /// dataset. Fallible callers (the serving layer) use
     /// [`check`](DurableQuery::check) instead.
     pub fn validate(&self, n: usize) -> Window {
+        // lint: allow(panic) — documented-panic wrapper over check().
         self.check(n).unwrap_or_else(|e| panic!("{e}"))
     }
 }

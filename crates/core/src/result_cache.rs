@@ -38,6 +38,7 @@
 //! the hit skipped `storage.fetch` — while preserving the snapshot's
 //! [`fallback`](crate::QueryStats::fallback) classification bit-exactly.
 
+use crate::check::{LockClass, TrackedMutex};
 use crate::engine::Algorithm;
 use crate::query::{QueryResult, QueryStats};
 use durable_topk_temporal::{RecordId, Time};
@@ -45,7 +46,6 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 /// Process-global allocator for shard generation ids. Never reused: a
 /// superseded generation's cache entries can never be probed again, which
@@ -121,7 +121,7 @@ pub struct ResultCacheStats {
 /// and invalidation rules).
 #[derive(Debug)]
 pub struct ShardResultCache {
-    shards: Vec<Mutex<CacheShard>>,
+    shards: Vec<TrackedMutex<CacheShard>>,
     /// Byte budget per lock shard (total budget split evenly).
     shard_budget: usize,
     /// Monotone LRU clock shared by all lock shards.
@@ -136,7 +136,9 @@ impl ShardResultCache {
     /// answers (split evenly across the internal lock shards).
     pub fn new(budget_bytes: usize) -> Self {
         Self {
-            shards: (0..LOCK_SHARDS).map(|_| Mutex::default()).collect(),
+            shards: (0..LOCK_SHARDS)
+                .map(|_| TrackedMutex::new(LockClass::CacheShard, CacheShard::default()))
+                .collect(),
             shard_budget: (budget_bytes / LOCK_SHARDS).max(1),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -145,7 +147,7 @@ impl ShardResultCache {
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<CacheShard> {
+    fn shard_for(&self, key: &CacheKey) -> &TrackedMutex<CacheShard> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % LOCK_SHARDS]
@@ -156,7 +158,7 @@ impl ShardResultCache {
     /// hits; an absent key counts as a miss (the caller runs the probe and
     /// [`insert`](ShardResultCache::insert)s).
     pub(crate) fn get(&self, key: &CacheKey) -> Option<QueryResult> {
-        let mut shard = self.shard_for(key).lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard_for(key).lock();
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -183,7 +185,7 @@ impl ShardResultCache {
             return;
         }
         let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(&key).lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard_for(&key).lock();
         let entry = Entry { records: records.to_vec(), stats, bytes, last_used };
         if let Some(old) = shard.map.insert(key, entry) {
             shard.bytes -= old.bytes;
@@ -198,7 +200,10 @@ impl ShardResultCache {
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
+                // lint: allow(expect) — the loop guard saw bytes > 0.
                 .expect("over-budget shard cannot be empty");
+            // lint: allow(expect) — `oldest` was read out of this map
+            // under the same shard lock.
             let evicted = shard.map.remove(&oldest).expect("key just observed");
             shard.bytes -= evicted.bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -210,7 +215,7 @@ impl ShardResultCache {
         let mut resident_bytes = 0u64;
         let mut entries = 0u64;
         for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let shard = shard.lock();
             resident_bytes += shard.bytes as u64;
             entries += shard.map.len() as u64;
         }

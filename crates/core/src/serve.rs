@@ -37,6 +37,7 @@
 //!   accepting, then drains: every already-queued request is still served
 //!   and its handle fulfilled.
 
+use crate::check::{LockClass, TrackedCondvar, TrackedMutex, TrackedReadGuard, TrackedRwLock};
 use crate::context::QueryContext;
 use crate::engine::Algorithm;
 use crate::error::QueryError;
@@ -53,7 +54,7 @@ use durable_topk_temporal::RecordId;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, RwLockReadGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The scoring function of one request, by value — serving requests are
@@ -286,29 +287,30 @@ pub struct ServeStats {
 }
 
 struct Shared {
-    engine: RwLock<ShardedEngine>,
-    state: Mutex<QueueState>,
+    engine: TrackedRwLock<ShardedEngine>,
+    state: TrackedMutex<QueueState>,
     /// Signalled when a queue slot frees (Block-mode submitters wait here)
     /// and on shutdown (so parked submitters observe `accepting = false`).
-    space: Condvar,
+    space: TrackedCondvar,
     /// Signalled when `outstanding` reaches zero (shutdown drain).
-    idle: Condvar,
+    idle: TrackedCondvar,
     capacity: usize,
     backpressure: Backpressure,
     counters: Counters,
     /// Standing-query registry. Lock order: the engine lock (read or
-    /// write) is always acquired *before* this mutex, never after.
-    subs: Mutex<SubscriptionRegistry>,
+    /// write) is always acquired *before* this mutex, never after —
+    /// enforced by [`LockClass::Engine`] < [`LockClass::SubscriptionRegistry`].
+    subs: TrackedMutex<SubscriptionRegistry>,
     /// Refresh jobs currently in flight (spawned but not finished).
-    refreshing: Mutex<usize>,
+    refreshing: TrackedMutex<usize>,
     /// Signalled when `refreshing` reaches zero
     /// ([`subscription_sync`](ServeEngine::subscription_sync) waits here).
-    refresh_idle: Condvar,
+    refresh_idle: TrackedCondvar,
 }
 
 impl Shared {
-    fn read_engine(&self) -> RwLockReadGuard<'_, ShardedEngine> {
-        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    fn read_engine(&self) -> TrackedReadGuard<'_, ShardedEngine> {
+        self.engine.read()
     }
 
     /// Pops and serves one request — the body of the detached pool job
@@ -472,23 +474,29 @@ impl ServeEngine {
     /// serve; validate user-supplied capacities before calling).
     pub fn new(engine: ShardedEngine, capacity: usize, backpressure: Backpressure) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        let subs = Mutex::new(SubscriptionRegistry::anchored(&engine));
+        let subs = TrackedMutex::new(
+            LockClass::SubscriptionRegistry,
+            SubscriptionRegistry::anchored(&engine),
+        );
         Self {
             shared: Arc::new(Shared {
-                engine: RwLock::new(engine),
-                state: Mutex::new(QueueState {
-                    queue: VecDeque::with_capacity(capacity),
-                    outstanding: 0,
-                    accepting: true,
-                }),
-                space: Condvar::new(),
-                idle: Condvar::new(),
+                engine: TrackedRwLock::new(LockClass::Engine, engine),
+                state: TrackedMutex::new(
+                    LockClass::ServeQueue,
+                    QueueState {
+                        queue: VecDeque::with_capacity(capacity),
+                        outstanding: 0,
+                        accepting: true,
+                    },
+                ),
+                space: TrackedCondvar::new(),
+                idle: TrackedCondvar::new(),
                 capacity,
                 backpressure,
                 counters: Counters::default(),
                 subs,
-                refreshing: Mutex::new(0),
-                refresh_idle: Condvar::new(),
+                refreshing: TrackedMutex::new(LockClass::ServeQueue, 0),
+                refresh_idle: TrackedCondvar::new(),
             }),
         }
     }
@@ -501,7 +509,7 @@ impl ServeEngine {
     /// has begun, every submission fails with
     /// [`ServeError::ShuttingDown`].
     pub fn submit(&self, req: ServeRequest) -> Result<ResponseHandle, ServeError> {
-        let slot = Arc::new(ResponseSlot::default());
+        let slot = Arc::new(ResponseSlot::new(LockClass::ResponseSlot));
         {
             let mut state = lock(&self.shared.state);
             loop {
@@ -518,8 +526,7 @@ impl ServeEngine {
                         return Err(ServeError::QueueFull);
                     }
                     Backpressure::Block => {
-                        state =
-                            self.shared.space.wait(state).unwrap_or_else(PoisonError::into_inner);
+                        state = self.shared.space.wait(state);
                     }
                 }
             }
@@ -558,7 +565,7 @@ impl ServeEngine {
     /// [`QueryError::Arity`] on an arity mismatch.
     pub fn append(&self, attrs: &[f64]) -> Result<RecordId, ServeError> {
         let (id, plan) = {
-            let mut engine = self.shared.engine.write().unwrap_or_else(PoisonError::into_inner);
+            let mut engine = self.shared.engine.write();
             if attrs.len() != engine.dim() {
                 return Err(ServeError::Query(QueryError::Arity {
                     expected: engine.dim(),
@@ -601,7 +608,7 @@ impl ServeEngine {
 
     /// Waits out every in-flight background shard seal (write lock).
     pub fn quiesce(&self) {
-        self.shared.engine.write().unwrap_or_else(PoisonError::into_inner).quiesce();
+        self.shared.engine.write().quiesce();
     }
 
     /// Registers a standing query: the request is validated and its
@@ -658,14 +665,13 @@ impl ServeEngine {
     pub fn subscription_sync(&self) {
         let mut refreshing = lock(&self.shared.refreshing);
         while *refreshing > 0 {
-            refreshing =
-                self.shared.refresh_idle.wait(refreshing).unwrap_or_else(PoisonError::into_inner);
+            refreshing = self.shared.refresh_idle.wait(refreshing);
         }
     }
 
     /// Read access to the underlying engine (shard counts, direct
     /// queries, verification against the served answers).
-    pub fn engine(&self) -> RwLockReadGuard<'_, ShardedEngine> {
+    pub fn engine(&self) -> TrackedReadGuard<'_, ShardedEngine> {
         self.shared.read_engine()
     }
 
@@ -679,7 +685,7 @@ impl ServeEngine {
         state.accepting = false;
         self.shared.space.notify_all();
         while state.outstanding > 0 {
-            state = self.shared.idle.wait(state).unwrap_or_else(PoisonError::into_inner);
+            state = self.shared.idle.wait(state);
         }
     }
 

@@ -41,6 +41,7 @@
 //! record-for-record identical to an unsharded engine over the same
 //! history for every `τ ≤ max_tau`.
 
+use crate::check::LockClass;
 use crate::context::QueryContext;
 use crate::engine::{run_algorithm, Algorithm};
 use crate::error::{BuildError, QueryError};
@@ -256,6 +257,7 @@ impl ShardedEngine {
     /// Panics if `dim == 0`, `shard_span == 0` or `max_tau == 0`. Fallible
     /// callers use [`try_new_live`](ShardedEngine::try_new_live).
     pub fn new_live(dim: usize, shard_span: usize, max_tau: Time) -> Self {
+        // lint: allow(panic) — documented-panic wrapper over try_new_live.
         Self::try_new_live(dim, shard_span, max_tau).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -278,6 +280,7 @@ impl ShardedEngine {
         leaf_size: usize,
     ) -> Self {
         Self::try_new_live_with_leaf(dim, shard_span, max_tau, leaf_size)
+            // lint: allow(panic) — documented-panic wrapper.
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -589,7 +592,7 @@ impl ShardedEngine {
         let base = snap.ext_lo as usize;
         self.head = self.fresh_head(|i| snap.ds.row((i - base) as RecordId), self.len);
 
-        let slot = Arc::new(SealSlot::default());
+        let slot = Arc::new(SealSlot::new(LockClass::SealSlot));
         match self.seal_mode {
             SealMode::Background => {
                 let job_snap = Arc::clone(&snap);
@@ -769,6 +772,7 @@ impl ShardedEngine {
         scorer: &S,
         query: &DurableQuery,
     ) -> QueryResult {
+        // lint: allow(panic) — documented-panic wrapper over try_query.
         self.try_query(alg, scorer, query).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -27,13 +27,15 @@
 //! bit-identical (see the store crate's chunk format), proptested against
 //! [`MemoryStorage`] across seal boundaries.
 
+use crate::check::{LockClass, TrackedMutex};
+use crate::sync::lock;
 use durable_topk_store::{chunk_page_len, read_chunk, write_chunk, BufferPool};
 use durable_topk_temporal::Dataset;
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 
 /// Handle to a stored record chunk, issued by [`ShardStorage::store`].
 pub type ChunkId = usize;
@@ -85,21 +87,26 @@ pub trait ShardStorage: Send + Sync + std::fmt::Debug {
 
 /// The all-in-memory backend: chunks are shared `Arc`s, fetches are clone
 /// cheap, nothing is ever cold.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryStorage {
-    chunks: Mutex<Vec<Arc<Dataset>>>,
+    chunks: TrackedMutex<Vec<Arc<Dataset>>>,
     fetches: AtomicU64,
 }
 
 impl MemoryStorage {
     /// An empty in-memory backend.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            chunks: TrackedMutex::new(LockClass::PagePool, Vec::new()),
+            fetches: AtomicU64::new(0),
+        }
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+impl Default for MemoryStorage {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ShardStorage for MemoryStorage {
@@ -182,12 +189,21 @@ impl Paged {
     }
 }
 
+impl Drop for Paged {
+    fn drop(&mut self) {
+        // Release the persistent fetch pin before the pool goes away: the
+        // pool's debug-build pin-leak detector asserts that every pinned
+        // frame was unpinned by the time it is dropped.
+        self.unpin_current();
+    }
+}
+
 /// The pager-backed tiered backend: every chunk is serialized to pages at
 /// store time; the newest `spill_after` chunks also stay decoded, older
 /// ones are served by faulting their pages back in. See the module docs
 /// for the full story.
 pub struct PagedStorage {
-    inner: Mutex<Paged>,
+    inner: TrackedMutex<Paged>,
     spill_after: usize,
     pin_budget: usize,
 }
@@ -216,17 +232,20 @@ impl PagedStorage {
         spill_after: usize,
     ) -> io::Result<Self> {
         Ok(Self {
-            inner: Mutex::new(Paged {
-                pool: BufferPool::create(path, cache_pages)?,
-                dir: Vec::new(),
-                resident_order: VecDeque::new(),
-                pinned: None,
-                next_page: 0,
-                fetches: 0,
-                cold_fetches: 0,
-                cold_page_reads: 0,
-                write_failures: 0,
-            }),
+            inner: TrackedMutex::new(
+                LockClass::PagePool,
+                Paged {
+                    pool: BufferPool::create(path, cache_pages)?,
+                    dir: Vec::new(),
+                    resident_order: VecDeque::new(),
+                    pinned: None,
+                    next_page: 0,
+                    fetches: 0,
+                    cold_fetches: 0,
+                    cold_page_reads: 0,
+                    write_failures: 0,
+                },
+            ),
             spill_after,
             pin_budget: (cache_pages / 2).max(1),
         })
@@ -284,6 +303,7 @@ impl ShardStorage for PagedStorage {
         if on_disk {
             inner.resident_order.push_back(id);
             while inner.resident_order.len() > self.spill_after {
+                // lint: allow(expect) — the loop guard saw len > 0.
                 let victim = inner.resident_order.pop_front().expect("non-empty");
                 inner.dir[victim].resident = None;
             }
@@ -307,6 +327,8 @@ impl ShardStorage for PagedStorage {
         let before = inner.pool.stats().reads;
         let first_page = inner.dir[id].first_page;
         let ds = read_chunk(&mut inner.pool, first_page)
+            // lint: allow(expect) — `on_disk` was asserted above: the chunk's
+            // serialized form reached this pool and pages are never reused.
             .expect("a spilled chunk is always readable from its own pool");
         let cold = inner.pool.stats().reads - before;
         inner.cold_fetches += 1;

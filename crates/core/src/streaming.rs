@@ -27,6 +27,7 @@
 //! a lazily materialized, incrementally topped-up cache.
 
 use crate::algorithms::{s_hop, t_hop, RefillMode};
+use crate::check::{LockClass, TrackedMutex, TrackedMutexGuard};
 use crate::context::QueryContext;
 use crate::engine::Algorithm;
 use crate::error::QueryError;
@@ -90,15 +91,18 @@ const DEFAULT_MAX_TAU: Time = 4_096;
 /// per-arrival classification probe of [`push`](StreamingMonitor::push)
 /// allocates nothing once warm.
 ///
-/// The interior cache makes the monitor single-threaded (`!Sync`); the
-/// sharded engine underneath remains the concurrent substrate.
+/// Ingestion ([`push`](StreamingMonitor::push)) takes `&mut self`, so the
+/// monitor is a single-writer facade; the sharded engine underneath
+/// remains the concurrent substrate.
 #[derive(Debug)]
 pub struct StreamingMonitor {
     engine: ShardedEngine,
     /// Lazy contiguous view of the full history (attribute rows by global
     /// id), extended from the engine's shards on demand. Only the scan
-    /// fallback reads it; bounded-τ traffic never materializes it.
-    history: RefCell<Dataset>,
+    /// fallback reads it; bounded-τ traffic never materializes it. Ranked
+    /// below the storage locks: topping it up faults spilled chunks in
+    /// through the engine's storage backend while it is held.
+    history: TrackedMutex<Dataset>,
     ctx: QueryContext,
     probe: TopKResult,
     /// Standing queries, refreshed inline per push (the monitor is
@@ -128,7 +132,7 @@ impl StreamingMonitor {
         let subs = SubscriptionRegistry::anchored(&engine);
         Self {
             engine,
-            history: RefCell::new(Dataset::new(dim)),
+            history: TrackedMutex::new(LockClass::MonitorCache, Dataset::new(dim)),
             ctx: QueryContext::new(),
             probe: TopKResult::empty(),
             subs,
@@ -163,7 +167,7 @@ impl StreamingMonitor {
         for id in 0..ds.len() {
             monitor.engine.append(ds.row(id as RecordId));
         }
-        *monitor.history.borrow_mut() = ds;
+        *monitor.history.lock() = ds;
         monitor
     }
 
@@ -183,15 +187,13 @@ impl StreamingMonitor {
     /// through the storage backend), later calls only top up the records
     /// that arrived since. Rows pushed via [`push`](StreamingMonitor::push)
     /// carry no wall-clock stamps in this view.
-    pub fn history(&self) -> std::cell::Ref<'_, Dataset> {
-        {
-            let mut h = self.history.borrow_mut();
-            let from = h.len();
-            if from < self.engine.len() {
-                self.engine.copy_history_into(&mut h, from);
-            }
+    pub fn history(&self) -> TrackedMutexGuard<'_, Dataset> {
+        let mut h = self.history.lock();
+        let from = h.len();
+        if from < self.engine.len() {
+            self.engine.copy_history_into(&mut h, from);
         }
-        self.history.borrow()
+        h
     }
 
     /// The backing live sharded engine (shard counts, direct queries).

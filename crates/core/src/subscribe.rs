@@ -42,6 +42,7 @@
 //!
 //! [`SkybandMaintainer`]: durable_topk_geom::SkybandMaintainer
 
+use crate::check::{LockClass, TrackedMutex};
 use crate::context::QueryContext;
 use crate::error::QueryError;
 use crate::query::DurableQuery;
@@ -50,7 +51,7 @@ use crate::sharded::ShardedEngine;
 use crate::sync::lock;
 use durable_topk_index::{OracleScorer, TopKResult};
 use durable_topk_temporal::{CosineScorer, LinearScorer, RecordId, Time, Window};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Identifies one registered subscription within its registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,7 +171,10 @@ pub(crate) struct Subscription {
     monotone: bool,
     /// Re-run the full recompute oracle at every seal boundary.
     verify_on_seal: bool,
-    state: Mutex<SubState>,
+    /// Ranked below the registry lock: `plan_refresh` locks it under the
+    /// registry (and the engine write lock), refresh jobs under the engine
+    /// read lock alone.
+    state: TrackedMutex<SubState>,
 }
 
 impl Subscription {
@@ -357,7 +361,7 @@ impl SubscriptionRegistry {
             req,
             monotone,
             verify_on_seal,
-            state: Mutex::new(state),
+            state: TrackedMutex::new(LockClass::SubscriptionState, state),
         }));
         Ok(SubscriptionId(id))
     }

@@ -1,22 +1,29 @@
 //! Small synchronization utilities shared by the execution and serving
 //! layers.
+//!
+//! Everything here is built on the ranked, tracked lock wrappers from
+//! [`crate::check`]: every acquisition is checked against the workspace
+//! lock hierarchy in debug builds (see `docs/ARCHITECTURE.md`,
+//! "Concurrency invariants").
 
+use crate::check::{LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
-/// Locks a mutex, ignoring poisoning. Safe throughout this crate because
-/// guarded state is updated in single steps and user code (scorers,
-/// algorithm bodies) never runs under an internal lock — a panicking
-/// request is caught at chunk/request granularity before it can tear any
-/// invariant.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Locks a tracked mutex. Poisoning is swallowed by the wrapper — safe
+/// throughout this crate because guarded state is updated in single steps
+/// and user code (scorers, algorithm bodies) never runs under an internal
+/// lock; a panicking request is caught at chunk/request granularity before
+/// it can tear any invariant.
+pub(crate) fn lock<'a, T>(m: &'a TrackedMutex<T>) -> TrackedMutexGuard<'a, T> {
+    m.lock()
 }
 
 /// A oneshot completion slot: one producer publishes a value, consumers
 /// poll or block for it. Backs both seal publication
 /// ([`ShardedEngine`](crate::ShardedEngine)'s background collapses) and
-/// request completion handles ([`ServeEngine`](crate::ServeEngine)).
+/// request completion handles ([`ServeEngine`](crate::ServeEngine)) —
+/// declared with [`LockClass::SealSlot`] and [`LockClass::ResponseSlot`]
+/// respectively, the two innermost classes of the lock hierarchy.
 ///
 /// The `claim` flag supports *work stealing*: when the value is produced
 /// by a detached pool job, a waiter that cannot afford to depend on pool
@@ -26,20 +33,23 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// breaks any cycle where the producer's turn on the pool never comes.
 #[derive(Debug)]
 pub(crate) struct OnceSlot<T> {
-    ready: Mutex<Option<T>>,
-    done: Condvar,
+    ready: TrackedMutex<Option<T>>,
+    done: TrackedCondvar,
     claimed: AtomicBool,
 }
 
-// Manual impl: `derive` would demand `T: Default`, which the payload
-// types have no reason to satisfy.
-impl<T> Default for OnceSlot<T> {
-    fn default() -> Self {
-        Self { ready: Mutex::new(None), done: Condvar::new(), claimed: AtomicBool::new(false) }
-    }
-}
-
 impl<T> OnceSlot<T> {
+    /// Creates an empty slot whose internal lock carries `class` (use
+    /// [`LockClass::SealSlot`] for seal hand-offs,
+    /// [`LockClass::ResponseSlot`] for completion handles).
+    pub(crate) fn new(class: LockClass) -> Self {
+        Self {
+            ready: TrackedMutex::new(class, None),
+            done: TrackedCondvar::new(),
+            claimed: AtomicBool::new(false),
+        }
+    }
+
     /// Atomically claims the right to produce the value. Returns `true`
     /// exactly once across all callers.
     pub(crate) fn claim(&self) -> bool {
@@ -64,7 +74,7 @@ impl<T> OnceSlot<T> {
             if let Some(value) = ready.take() {
                 return value;
             }
-            ready = self.done.wait(ready).unwrap_or_else(PoisonError::into_inner);
+            ready = self.done.wait(ready);
         }
     }
 }
@@ -76,7 +86,7 @@ mod tests {
 
     #[test]
     fn claim_is_granted_exactly_once() {
-        let slot: OnceSlot<u32> = OnceSlot::default();
+        let slot: OnceSlot<u32> = OnceSlot::new(LockClass::SealSlot);
         assert!(slot.claim());
         assert!(!slot.claim());
         assert!(!slot.claim());
@@ -84,7 +94,7 @@ mod tests {
 
     #[test]
     fn publish_wakes_a_blocked_taker() {
-        let slot = Arc::new(OnceSlot::<u32>::default());
+        let slot = Arc::new(OnceSlot::<u32>::new(LockClass::SealSlot));
         let taker = {
             let slot = Arc::clone(&slot);
             std::thread::spawn(move || slot.take_blocking())
@@ -92,5 +102,102 @@ mod tests {
         slot.publish(42);
         assert_eq!(taker.join().expect("taker"), 42);
         assert_eq!(slot.try_take(), None, "oneshot: the value is consumed");
+    }
+
+    /// Yield seeds the permutation tests below run under: seed 0 disables
+    /// injection (the unperturbed schedule); the rest shift every tracked
+    /// acquisition by a seed-dependent number of `yield_now` calls,
+    /// walking the claim/steal races through distinct interleavings.
+    const SEEDS: [u64; 6] = [0, 1, 2, 3, 0x9e37, 0x7f4a7c15];
+
+    #[test]
+    fn claim_then_steal_under_yield_injection() {
+        for seed in SEEDS {
+            crate::check::set_yield_seed(seed);
+            // The appender (cannot wait on pool scheduling) claims first;
+            // the pool job arrives late, loses the claim, and must still
+            // observe the published value.
+            let slot = Arc::new(OnceSlot::<u64>::new(LockClass::SealSlot));
+            assert!(slot.claim(), "first claim wins (seed {seed})");
+            let late = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    assert!(!slot.claim(), "late claimer must lose");
+                    slot.take_blocking()
+                })
+            };
+            slot.publish(seed);
+            assert_eq!(late.join().expect("late thread"), seed);
+        }
+        crate::check::set_yield_seed(0);
+    }
+
+    #[test]
+    fn steal_while_producing_grants_one_producer() {
+        use std::sync::atomic::AtomicUsize;
+        for seed in SEEDS {
+            crate::check::set_yield_seed(seed);
+            // Two producers race the claim mid-flight; exactly one may
+            // produce, and the taker sees that producer's value.
+            let slot = Arc::new(OnceSlot::<usize>::new(LockClass::SealSlot));
+            let winners = Arc::new(AtomicUsize::new(0));
+            let producers: Vec<_> = (1..=2usize)
+                .map(|id| {
+                    let slot = Arc::clone(&slot);
+                    let winners = Arc::clone(&winners);
+                    std::thread::spawn(move || {
+                        if slot.claim() {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                            slot.publish(id);
+                        }
+                    })
+                })
+                .collect();
+            let got = slot.take_blocking();
+            for p in producers {
+                p.join().expect("producer");
+            }
+            assert_eq!(winners.load(Ordering::Relaxed), 1, "seed {seed}");
+            assert!((1..=2).contains(&got), "value came from the winner (seed {seed})");
+            assert!(!slot.claim(), "the claim stays spent");
+        }
+        crate::check::set_yield_seed(0);
+    }
+
+    #[test]
+    fn double_claim_three_way_race_stays_oneshot() {
+        use std::sync::atomic::AtomicUsize;
+        for seed in SEEDS {
+            crate::check::set_yield_seed(seed);
+            // Three claimants, one blocked taker: however the schedule
+            // lands, the claim is granted once, the value is produced
+            // once, and the taker drains it exactly once.
+            let slot = Arc::new(OnceSlot::<usize>::new(LockClass::SealSlot));
+            let taker = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || slot.take_blocking())
+            };
+            let winners = Arc::new(AtomicUsize::new(0));
+            let claimants: Vec<_> = (1..=3usize)
+                .map(|id| {
+                    let slot = Arc::clone(&slot);
+                    let winners = Arc::clone(&winners);
+                    std::thread::spawn(move || {
+                        if slot.claim() {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                            slot.publish(id);
+                        }
+                    })
+                })
+                .collect();
+            for c in claimants {
+                c.join().expect("claimant");
+            }
+            let got = taker.join().expect("taker");
+            assert_eq!(winners.load(Ordering::Relaxed), 1, "seed {seed}");
+            assert!((1..=3).contains(&got), "seed {seed}");
+            assert_eq!(slot.try_take(), None, "oneshot after the drain (seed {seed})");
+        }
+        crate::check::set_yield_seed(0);
     }
 }

@@ -107,6 +107,8 @@ impl DurableSkybandIndex {
         assert!(k >= 1, "k must be positive");
         let k_bar = self
             .level_for(k)
+            // lint: allow(panic) — documented-panic API: k beyond the build
+            // bound is a caller bug, not a query-path state.
             .unwrap_or_else(|| panic!("index built for k <= {}, got {k}", self.max_k()));
         let pst = &self
             .levels
@@ -282,6 +284,8 @@ impl SkybandCandidates for IncrementalSkybandIndex {
         assert!(k >= 1, "k must be positive");
         let k_bar = self
             .level_for(k)
+            // lint: allow(panic) — documented-panic API: k beyond the build
+            // bound is a caller bug, not a query-path state.
             .unwrap_or_else(|| panic!("index built for k <= {}, got {k}", self.max_k()));
         let level = self
             .maintainer

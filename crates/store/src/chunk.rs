@@ -76,8 +76,7 @@ pub fn read_chunk(pool: &mut BufferPool, first_page: PageId) -> io::Result<Datas
     let base = first_page * PAGE_SIZE as u64;
     let mut header = [0u8; HEADER_BYTES];
     pool.read_bytes(base, &mut header)?;
-    let word =
-        |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    let word = |i: usize| crate::codec::le_u64(&header[i * 8..(i + 1) * 8]);
     if word(0) != CHUNK_MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a record chunk"));
     }
@@ -90,18 +89,12 @@ pub fn read_chunk(pool: &mut BufferPool, first_page: PageId) -> io::Result<Datas
 
     let mut bytes = vec![0u8; records * dim * std::mem::size_of::<f64>()];
     pool.read_bytes(base + HEADER_BYTES as u64, &mut bytes)?;
-    let attrs: Vec<f64> =
-        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
+    let attrs: Vec<f64> = bytes.chunks_exact(8).map(crate::codec::le_f64).collect();
 
     let wall_clock = if has_wc {
         let mut wc_bytes = vec![0u8; records * std::mem::size_of::<i64>()];
         pool.read_bytes(base + HEADER_BYTES as u64 + bytes.len() as u64, &mut wc_bytes)?;
-        Some(
-            wc_bytes
-                .chunks_exact(8)
-                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
-                .collect(),
-        )
+        Some(wc_bytes.chunks_exact(8).map(crate::codec::le_i64).collect())
     } else {
         None
     };

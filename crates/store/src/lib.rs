@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+mod codec;
 pub mod pager;
 pub mod procedures;
 pub mod relation;

@@ -238,6 +238,27 @@ impl BufferPool {
     }
 }
 
+/// Debug-build pin-leak detector: a pool must not be torn down while any
+/// frame is still pinned. A leaked pin means some fetch path took a pin it
+/// never paired with [`unpin`](BufferPool::unpin) (or
+/// [`clear_cache`](BufferPool::clear_cache), which releases every pin
+/// explicitly) — under eviction pressure that pin would have silently
+/// shrunk the evictable pool for the process lifetime. Release builds skip
+/// the check entirely.
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            let leaked = self.pinned_frames();
+            assert!(
+                leaked == 0,
+                "buffer-pool pin leak: {leaked} frame(s) still pinned at drop; \
+                 pair every pin with unpin (or clear_cache) before the pool \
+                 releases its last reference"
+            );
+        }
+    }
+}
+
 fn read_full_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
     // Past-EOF tails read as zeros (fresh page semantics).
     let len = file.metadata()?.len();
@@ -359,6 +380,24 @@ mod tests {
         pool.clear_cache().expect("clear");
         pool.unpin(3);
         assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "pin-leak detector is debug-only")]
+    #[should_panic(expected = "pin leak")]
+    fn dropping_a_pool_with_a_live_pin_panics_in_debug() {
+        let mut pool = BufferPool::create(tmp("pin-leak.db"), 2).expect("create");
+        pool.write_bytes(0, &[1u8; 8]).expect("write");
+        pool.pin(0).expect("pin");
+        drop(pool);
+    }
+
+    #[test]
+    fn clear_cache_releases_pins_before_drop() {
+        let mut pool = BufferPool::create(tmp("pin-clear.db"), 2).expect("create");
+        pool.pin(1).expect("pin");
+        pool.clear_cache().expect("clear");
+        // Drop runs the debug pin-leak check; a cleared pool passes it.
     }
 
     #[test]

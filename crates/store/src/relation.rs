@@ -70,16 +70,16 @@ impl RelStore {
         let mut pool = BufferPool::open(path, pool_pages)?;
         let mut header = [0u8; 64];
         pool.read_bytes(0, &mut header)?;
-        let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        let magic = crate::codec::le_u64(&header[0..8]);
         if magic != MAGIC {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RelStore file"));
         }
         let mut meta = [0u64; 4];
         for (i, m) in meta.iter_mut().enumerate() {
-            *m = u64::from_le_bytes(header[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"));
+            *m = crate::codec::le_u64(&header[8 + i * 8..16 + i * 8]);
         }
-        let root = u64::from_le_bytes(header[40..48].try_into().expect("8 bytes"));
-        let leaf_size = u64::from_le_bytes(header[48..56].try_into().expect("8 bytes")) as usize;
+        let root = crate::codec::le_u64(&header[40..48]);
+        let leaf_size = crate::codec::le_u64(&header[48..56]) as usize;
         Ok(RelStore { pool, table: Table::from_meta(meta), root, leaf_size })
     }
 
@@ -179,6 +179,8 @@ impl RelStore {
         // k-th best score; candidates accumulate directly in `out`.
         while let Some((bound, off, lo, hi)) = scratch.pq_ext.pop() {
             let threshold = if scratch.best_ext.len() >= k {
+                // lint: allow(expect) — `k > 0` is asserted at top_k entry,
+                // so len() >= k implies a non-empty heap.
                 scratch.best_ext.peek().expect("non-empty").0 .0
             } else {
                 f64::NEG_INFINITY
@@ -192,6 +194,7 @@ impl RelStore {
                     self.table.read_row(&mut self.pool, id, &mut scratch.row)?;
                     let s = scorer.score(&scratch.row);
                     let threshold = if scratch.best_ext.len() >= k {
+                        // lint: allow(expect) — k > 0 asserted at entry.
                         scratch.best_ext.peek().expect("non-empty").0 .0
                     } else {
                         f64::NEG_INFINITY
@@ -248,11 +251,11 @@ impl RelStore {
         let mut buf = [0u8; 28];
         self.pool.read_bytes(off, &mut buf)?;
         Ok(NodeHeader {
-            lo: u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
-            hi: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
-            left: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
-            right: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
-            sky_len: u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+            lo: crate::codec::le_u32(&buf[0..4]),
+            hi: crate::codec::le_u32(&buf[4..8]),
+            left: crate::codec::le_u64(&buf[8..16]),
+            right: crate::codec::le_u64(&buf[16..24]),
+            sky_len: crate::codec::le_u32(&buf[24..28]),
         })
     }
 
@@ -276,7 +279,7 @@ impl RelStore {
         let mut bound = f64::NEG_INFINITY;
         for e in bytes.chunks_exact(entry) {
             for (j, a) in attrs.iter_mut().enumerate() {
-                *a = f64::from_le_bytes(e[4 + j * 8..12 + j * 8].try_into().expect("8 bytes"));
+                *a = crate::codec::le_f64(&e[4 + j * 8..12 + j * 8]);
             }
             bound = bound.max(scorer.score(attrs));
         }

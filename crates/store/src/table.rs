@@ -76,7 +76,7 @@ impl Table {
         let mut buf = vec![0u8; self.dim * 8];
         pool.read_bytes(self.row_offset(id), &mut buf)?;
         for (j, x) in out.iter_mut().enumerate() {
-            *x = f64::from_le_bytes(buf[j * 8..(j + 1) * 8].try_into().expect("8 bytes"));
+            *x = crate::codec::le_f64(&buf[j * 8..(j + 1) * 8]);
         }
         Ok(())
     }
