@@ -18,8 +18,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use durable_topk::{
-    Algorithm, Backpressure, Dataset, DurableQuery, LinearScorer, PagedStorage, ScorerSpec,
-    ServeEngine, ServeRequest, ShardedEngine, Window,
+    Algorithm, Backpressure, Dataset, DurableQuery, EngineConfig, LinearScorer, PagedStorage,
+    ScorerSpec, ServeEngine, ServeRequest, ShardedEngine, Window,
 };
 use durable_topk_workloads::ind;
 use std::sync::Arc;
@@ -42,12 +42,12 @@ const STORM_SUBS: usize = 8;
 /// Ingests the whole stream into a live paged engine, optionally fronted
 /// by a result cache with the given byte budget.
 fn grow(ds: &Dataset, cache_budget: Option<usize>) -> ShardedEngine {
-    let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_storage(Arc::new(
-        PagedStorage::with_temp_file(SPILL_AFTER).expect("temp-file backend"),
-    ));
+    let mut config = EngineConfig::new(2, SPAN, MAX_TAU)
+        .storage(Arc::new(PagedStorage::with_temp_file(SPILL_AFTER).expect("temp-file backend")));
     if let Some(budget) = cache_budget {
-        live = live.with_result_cache(budget);
+        config = config.result_cache(budget);
     }
+    let mut live = config.build().expect("paged live config");
     for id in 0..ds.len() as u32 {
         live.append(ds.row(id));
     }
@@ -108,10 +108,11 @@ fn storm_row(i: usize) -> [f64; 2] {
 /// ns per append; every seal re-verifies every subscription with a full
 /// recompute over the sealed prefix.
 fn seal_storm(cache_budget: Option<usize>) -> f64 {
-    let mut engine = ShardedEngine::new_live(2, STORM_SPAN, 64);
+    let mut config = EngineConfig::new(2, STORM_SPAN, 64);
     if let Some(budget) = cache_budget {
-        engine = engine.with_result_cache(budget);
+        config = config.result_cache(budget);
     }
+    let mut engine = config.build().expect("storm config");
     for i in 0..STORM_BASE {
         engine.append(&storm_row(i));
     }

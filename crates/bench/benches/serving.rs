@@ -16,8 +16,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use durable_topk::{
-    Algorithm, Backpressure, DurableQuery, ScorerSpec, SealMode, ServeEngine, ServeRequest,
-    ShardedEngine, Window,
+    Algorithm, Backpressure, DurableQuery, EngineConfig, ScorerSpec, SealMode, ServeEngine,
+    ServeRequest, ShardedEngine, Window,
 };
 use durable_topk_workloads::ind;
 use std::time::{Duration, Instant};
@@ -78,7 +78,8 @@ fn report_serving_percentiles(serve: &ServeEngine, n: u32) {
 /// binary-counter merge spikes affect both modes identically.
 fn report_seal_tail(mode: SealMode) {
     let rows = ind(4 * SPAN + 64, 2, 11);
-    let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_seal_mode(mode);
+    let mut live =
+        EngineConfig::new(2, SPAN, MAX_TAU).seal_mode(mode).build().expect("live config");
     let mut lat = Vec::with_capacity(rows.len());
     let mut seal_lat = Vec::new();
     for id in 0..rows.len() as u32 {
@@ -152,8 +153,10 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("append_cross_seal_sync", |b| {
         b.iter(|| {
-            let mut live =
-                ShardedEngine::new_live(2, SPAN, MAX_TAU).with_seal_mode(SealMode::Synchronous);
+            let mut live = EngineConfig::new(2, SPAN, MAX_TAU)
+                .seal_mode(SealMode::Synchronous)
+                .build()
+                .expect("live config");
             for id in 0..(SPAN + 1) as u32 {
                 live.append(ds.row(id));
             }

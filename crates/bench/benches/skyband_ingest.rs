@@ -8,7 +8,7 @@
 //! algorithm the old fallback substituted.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use durable_topk::{Algorithm, DurableQuery, LinearScorer, ShardedEngine, Window};
+use durable_topk::{Algorithm, DurableQuery, EngineConfig, LinearScorer, ShardedEngine, Window};
 use durable_topk_workloads::ind;
 
 const N: usize = 20_000;
@@ -38,7 +38,10 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("append_20k_skyband_k8", |b| {
         b.iter(|| {
-            let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_skyband_bound(K_MAX);
+            let mut live = EngineConfig::new(2, SPAN, MAX_TAU)
+                .skyband_bound(K_MAX)
+                .build()
+                .expect("live config");
             for id in 0..N as u32 {
                 live.append(ds.row(id));
             }
@@ -49,7 +52,10 @@ fn bench(c: &mut Criterion) {
     // A pure head shard: span larger than the run, so every record stays
     // in the appendable forest — the regime the S-Hop fallback used to
     // own exclusively.
-    let mut head = ShardedEngine::new_live(2, HEAD_N * 2, MAX_TAU).with_skyband_bound(K_MAX);
+    let mut head = EngineConfig::new(2, HEAD_N * 2, MAX_TAU)
+        .skyband_bound(K_MAX)
+        .build()
+        .expect("head config");
     for id in 0..HEAD_N as u32 {
         head.append(ds.row(id));
     }

@@ -19,7 +19,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use durable_topk::{
-    Algorithm, Dataset, DurableQuery, LinearScorer, PagedStorage, ShardedEngine, Window,
+    Algorithm, Dataset, DurableQuery, EngineConfig, LinearScorer, PagedStorage, ShardedEngine,
+    Window,
 };
 use durable_topk_workloads::ind;
 use std::sync::Arc;
@@ -32,12 +33,13 @@ const SPILL_AFTER: usize = 2;
 
 /// Ingests the whole stream into a live engine over the given backend.
 fn grow(ds: &Dataset, paged: bool) -> ShardedEngine {
-    let mut live = ShardedEngine::new_live(2, SPAN, MAX_TAU);
+    let mut config = EngineConfig::new(2, SPAN, MAX_TAU);
     if paged {
-        live = live.with_storage(Arc::new(
+        config = config.storage(Arc::new(
             PagedStorage::with_temp_file(SPILL_AFTER).expect("temp-file backend"),
         ));
     }
+    let mut live = config.build().expect("live config");
     for id in 0..ds.len() as u32 {
         live.append(ds.row(id));
     }

@@ -22,7 +22,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use durable_topk::{
-    Algorithm, Backpressure, DurableQuery, ScorerSpec, ServeEngine, ServeRequest, ShardedEngine,
+    Algorithm, Backpressure, DurableQuery, EngineConfig, ScorerSpec, ServeEngine, ServeRequest,
     Window,
 };
 use std::time::Instant;
@@ -73,7 +73,8 @@ fn row(shape: Shape, i: usize) -> [f64; 2] {
 /// sized so the measured batch crosses no seal boundary (seal cost is
 /// `serving.rs`'s subject, not this bench's).
 fn engine_with_base(shape: Shape) -> ServeEngine {
-    let mut engine = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_skyband_bound(K_MAX);
+    let mut engine =
+        EngineConfig::new(2, SPAN, MAX_TAU).skyband_bound(K_MAX).build().expect("base config");
     for i in 0..BASE {
         engine.append(&row(shape, i));
     }

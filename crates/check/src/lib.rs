@@ -107,12 +107,24 @@ pub enum LockClass {
     SealSlot,
     /// A detached-job response `OnceSlot` (completion handles).
     ResponseSlot,
+    /// The coordinator's cached cluster topology (per-node shard-range
+    /// descriptors). Snapshotted and released before any fan-out.
+    NetTopology,
+    /// A `RemoteNode`'s TCP connection: held only around socket I/O for one
+    /// request/response exchange; never nested with engine-side locks.
+    NetConnection,
+    /// The node server's connection-handler registry (join handles and the
+    /// live-connection count).
+    NetServer,
+    /// A coordinator per-node latency reservoir; recorded after an RPC
+    /// returns, with nothing else held.
+    NetStats,
 }
 
 impl LockClass {
     /// Every class, in rank order. Kept in sync with [`rank`](Self::rank)
     /// by a unit test and the `xtask lint` rank-completeness rule.
-    pub const ALL: [LockClass; 10] = [
+    pub const ALL: [LockClass; 14] = [
         LockClass::Engine,
         LockClass::SubscriptionRegistry,
         LockClass::SubscriptionState,
@@ -123,6 +135,10 @@ impl LockClass {
         LockClass::PoolQueue,
         LockClass::SealSlot,
         LockClass::ResponseSlot,
+        LockClass::NetTopology,
+        LockClass::NetConnection,
+        LockClass::NetServer,
+        LockClass::NetStats,
     ];
 
     /// The class's position in the total acquisition order (higher nests
@@ -140,6 +156,10 @@ impl LockClass {
             LockClass::PoolQueue => 80,
             LockClass::SealSlot => 90,
             LockClass::ResponseSlot => 95,
+            LockClass::NetTopology => 100,
+            LockClass::NetConnection => 110,
+            LockClass::NetServer => 120,
+            LockClass::NetStats => 130,
         }
     }
 
@@ -156,6 +176,10 @@ impl LockClass {
             LockClass::PoolQueue => "PoolQueue",
             LockClass::SealSlot => "SealSlot",
             LockClass::ResponseSlot => "ResponseSlot",
+            LockClass::NetTopology => "NetTopology",
+            LockClass::NetConnection => "NetConnection",
+            LockClass::NetServer => "NetServer",
+            LockClass::NetStats => "NetStats",
         }
     }
 }

@@ -209,6 +209,54 @@ pub fn parse_serve(args: &Args) -> Result<ServeMode, String> {
     Ok(ServeMode { clients, requests, queue_cap, reject: args.has("reject"), ingest, subscribe })
 }
 
+/// Parses `--nodes host:port,host:port,…` into the coordinator's member
+/// list (`None` when the flag is absent — single-process serving).
+pub fn parse_nodes(args: &Args) -> Result<Option<Vec<String>>, String> {
+    if args.switches.iter().any(|s| s == "nodes") {
+        return Err("--nodes needs a value: a comma-separated host:port list".to_string());
+    }
+    let Some(v) = args.options.get("nodes") else { return Ok(None) };
+    let nodes: Vec<String> =
+        v.split(',').map(|a| a.trim().to_string()).filter(|a| !a.is_empty()).collect();
+    if nodes.is_empty() {
+        return Err("--nodes lists no addresses".to_string());
+    }
+    Ok(Some(nodes))
+}
+
+/// Options of the `serve-node` subcommand: host one contiguous slice of
+/// the global timeline behind the TCP wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeNodeMode {
+    /// The listen address (`--listen host:port`; port 0 picks a free one).
+    pub listen: String,
+    /// The owned slice of the global timeline (`--range A:B`, inclusive).
+    pub range: (u32, u32),
+}
+
+/// Parses and validates the `serve-node` subcommand flags.
+pub fn parse_serve_node(args: &Args) -> Result<ServeNodeMode, String> {
+    for conflicting in [
+        "stream",
+        "every",
+        "lookahead",
+        "durations",
+        "threads",
+        "clients",
+        "requests",
+        "ingest",
+        "subscribe",
+        "nodes",
+    ] {
+        if args.options.contains_key(conflicting) || args.has(conflicting) {
+            return Err(format!("serve-node cannot be combined with --{conflicting}"));
+        }
+    }
+    let listen = args.require("listen")?.to_string();
+    let range = parse_range(args.require("range")?)?;
+    Ok(ServeNodeMode { listen, range })
+}
+
 /// Storage backend of a live sharded engine (`--storage`, `--spill-after`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageChoice {
@@ -386,6 +434,42 @@ mod tests {
         let err = parse_serve(&parse("serve f.csv --threads 4")).expect_err("threads conflicts");
         assert!(err.contains("--threads"), "err={err}");
         let err = parse_serve(&parse("serve f.csv --stream")).expect_err("stream conflicts");
+        assert!(err.contains("--stream"), "err={err}");
+    }
+
+    #[test]
+    fn nodes_validation() {
+        assert_eq!(parse_nodes(&parse("serve f.csv")).expect("absent"), None);
+        assert_eq!(
+            parse_nodes(&parse("serve f.csv --nodes 127.0.0.1:7471")).expect("one"),
+            Some(vec!["127.0.0.1:7471".to_string()])
+        );
+        assert_eq!(
+            parse_nodes(&parse("serve f.csv --nodes a:1,b:2,c:3")).expect("three"),
+            Some(vec!["a:1".to_string(), "b:2".to_string(), "c:3".to_string()])
+        );
+        let err = parse_nodes(&parse("serve f.csv --nodes")).expect_err("missing value");
+        assert!(err.contains("host:port"), "err={err}");
+        assert!(parse_nodes(&parse("serve f.csv --nodes ,,")).is_err());
+    }
+
+    #[test]
+    fn serve_node_validation() {
+        let m = parse_serve_node(&parse("serve-node f.csv --listen 0.0.0.0:7471 --range 0:4999"))
+            .expect("valid");
+        assert_eq!(m, ServeNodeMode { listen: "0.0.0.0:7471".to_string(), range: (0, 4999) });
+        let err =
+            parse_serve_node(&parse("serve-node f.csv --range 0:10")).expect_err("needs listen");
+        assert!(err.contains("--listen"), "err={err}");
+        let err =
+            parse_serve_node(&parse("serve-node f.csv --listen a:1")).expect_err("needs range");
+        assert!(err.contains("--range"), "err={err}");
+        assert!(parse_serve_node(&parse("serve-node f.csv --listen a:1 --range 9:3")).is_err());
+        let err = parse_serve_node(&parse("serve-node f.csv --listen a:1 --range 0:9 --clients 4"))
+            .expect_err("clients conflicts");
+        assert!(err.contains("--clients"), "err={err}");
+        let err = parse_serve_node(&parse("serve-node f.csv --listen a:1 --range 0:9 --stream"))
+            .expect_err("stream conflicts");
         assert!(err.contains("--stream"), "err={err}");
     }
 

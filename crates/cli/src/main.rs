@@ -11,13 +11,17 @@
 mod args;
 
 use args::{
-    parse_algorithms, parse_range, parse_result_cache, parse_serve, parse_storage, parse_stream,
-    parse_threads, parse_weights, Args, StorageChoice,
+    parse_algorithms, parse_nodes, parse_range, parse_result_cache, parse_serve, parse_serve_node,
+    parse_storage, parse_stream, parse_threads, parse_weights, Args, ServeMode, StorageChoice,
 };
 use durable_topk::{
-    Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine,
+    Algorithm, Anchor, Backpressure, BatchExecutor, DurableQuery, DurableTopKEngine, EngineConfig,
     FallbackReason, LinearScorer, PagedStorage, QueryStats, ScorerSpec, ServeEngine, ServeRequest,
-    ShardedEngine, Window,
+    Window,
+};
+use durable_topk_net::{
+    Coordinator, NetError, Node, NodeIdentity, NodeServer, NodeServerOptions, RemoteNode,
+    RemoteOptions,
 };
 use durable_topk_temporal::{read_csv_file, write_csv_file, Dataset, DatasetStats};
 use durable_topk_workloads as workloads;
@@ -43,6 +47,9 @@ USAGE:
                              [--reject] [--ingest M] [--subscribe S]
                              [--storage memory|paged] [--spill-after N]
                              [--result-cache BYTES|off]
+                             [--nodes HOST:PORT,HOST:PORT,..]
+  durable-topk serve-node FILE --listen HOST:PORT --range A:B
+                             [--k K] [--tau T]
 
 Records are rows in arrival order; an optional header row names columns and
 an optional leading `t` column holds wall-clock stamps. Weights default to
@@ -68,7 +75,14 @@ file, reloading them transparently — and bit-identically — at query
 time. --result-cache puts a byte-budgeted memoization cache in front of
 the sealed shards of the live modes: repeated full-range probes of an
 immutable tail replay their answer without touching storage (default
-33554432 bytes = 32 MiB; `off` disables it).";
+33554432 bytes = 32 MiB; `off` disables it). `serve-node` hosts one
+contiguous slice [A, B] of the file behind the binary wire protocol on
+--listen (loading tau extra records of left context so every durability
+window it owns is exact); `serve --nodes` drives a query-only client
+storm through the scatter-gather coordinator over those nodes instead of
+an in-process queue, spot-checks sampled answers against a local
+reference engine, and prints per-node request counts and latency
+percentiles. Every node and the coordinator must agree on --k/--tau.";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -78,6 +92,7 @@ fn main() -> ExitCode {
         "topk" => topk(&args),
         "query" => query(&args),
         "serve" => serve(&args),
+        "serve-node" => serve_node(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -137,24 +152,29 @@ fn fallback_cell(stats: &QueryStats) -> &'static str {
     }
 }
 
-/// Applies the `--storage` selection to a freshly built live engine.
-fn apply_storage(engine: ShardedEngine, storage: StorageChoice) -> Result<ShardedEngine, String> {
-    match storage {
-        StorageChoice::Memory => Ok(engine),
-        StorageChoice::Paged { spill_after } => {
-            let backend = PagedStorage::with_temp_file(spill_after)
-                .map_err(|e| format!("--storage paged: {e}"))?;
-            Ok(engine.with_storage(std::sync::Arc::new(backend)))
-        }
+/// Translates the CLI's engine flags into one [`EngineConfig`] for the
+/// live modes (`--stream` replay, `serve`, `serve-node`).
+fn engine_config(
+    dim: usize,
+    span: usize,
+    tau: u32,
+    skyband: Option<usize>,
+    storage: StorageChoice,
+    result_cache: Option<usize>,
+) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::new(dim, span, tau);
+    if let Some(k_max) = skyband {
+        cfg = cfg.skyband_bound(k_max);
     }
-}
-
-/// Applies the `--result-cache` selection to a freshly built live engine.
-fn apply_result_cache(engine: ShardedEngine, budget: Option<usize>) -> ShardedEngine {
-    match budget {
-        None => engine,
-        Some(bytes) => engine.with_result_cache(bytes),
+    if let StorageChoice::Paged { spill_after } = storage {
+        let backend = PagedStorage::with_temp_file(spill_after)
+            .map_err(|e| format!("--storage paged: {e}"))?;
+        cfg = cfg.storage(std::sync::Arc::new(backend));
     }
+    if let Some(bytes) = result_cache {
+        cfg = cfg.result_cache(bytes);
+    }
+    Ok(cfg)
 }
 
 fn scorer_for(args: &Args, dim: usize) -> Result<LinearScorer, String> {
@@ -286,8 +306,7 @@ fn query(args: &Args) -> Result<(), String> {
     let result = if lookahead {
         engine.query_anchored(alg, &scorer, &q, anchor)
     } else {
-        // Dynamic dispatch shim: the CLI picks the scorer at run time.
-        engine.query_dyn(alg, &scorer, &q)
+        engine.query(alg, &scorer, &q)
     };
     let elapsed = started.elapsed();
 
@@ -341,12 +360,10 @@ fn stream_replay(
     // A few durability windows per shard keeps sealing amortized while
     // bounding per-shard index size.
     let span = (q.tau as usize * 4).clamp(1_024, 262_144);
-    let mut engine = ShardedEngine::new_live(ds.dim(), span, q.tau);
-    if alg == Algorithm::SBand {
-        engine = engine.with_skyband_bound(q.k);
-    }
-    engine = apply_storage(engine, storage)?;
-    engine = apply_result_cache(engine, result_cache);
+    let skyband = (alg == Algorithm::SBand).then_some(q.k);
+    let mut engine = engine_config(ds.dim(), span, q.tau, skyband, storage, result_cache)?
+        .build()
+        .map_err(|e| e.to_string())?;
 
     let started = std::time::Instant::now();
     for id in 0..n as u32 {
@@ -435,6 +452,9 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// shard seals under load. A sample of the served answers is re-checked
 /// against the quiesced engine before the summary prints.
 fn serve(args: &Args) -> Result<(), String> {
+    if let Some(nodes) = parse_nodes(args)? {
+        return serve_cluster(args, &nodes);
+    }
     let ds = load(args)?;
     non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
     let n = ds.len();
@@ -470,12 +490,17 @@ fn serve(args: &Args) -> Result<(), String> {
     let ingest = mode.ingest.unwrap_or(n / 10).min(n - 1);
     let base = n - ingest;
     let span = (tau as usize * 4).clamp(1_024, 262_144);
-    let mut engine = ShardedEngine::try_new_live(ds.dim(), span, tau).map_err(|e| e.to_string())?;
-    if algs.contains(&Algorithm::SBand) {
-        engine = engine.with_skyband_bound(k);
-    }
-    engine = apply_storage(engine, parse_storage(args)?)?;
-    engine = apply_result_cache(engine, parse_result_cache(args)?);
+    let skyband = algs.contains(&Algorithm::SBand).then_some(k);
+    let mut engine = engine_config(
+        ds.dim(),
+        span,
+        tau,
+        skyband,
+        parse_storage(args)?,
+        parse_result_cache(args)?,
+    )?
+    .build()
+    .map_err(|e| e.to_string())?;
     for id in 0..base {
         engine.append(ds.row(id as u32));
     }
@@ -680,6 +705,247 @@ fn serve(args: &Args) -> Result<(), String> {
         println!(
             "lock-check: tracked-acquisitions={} max-held-depth={}",
             check.tracked_acquisitions, check.max_held_depth
+        );
+    }
+    Ok(())
+}
+
+/// Hosts one contiguous slice of the file behind the TCP wire protocol
+/// (`serve-node`): builds a sharded engine over rows `[A − tau, B]` (the
+/// extra `tau` rows are the left context that keeps every owned
+/// durability window exact), then serves query/stats/ranges frames until
+/// killed.
+fn serve_node(args: &Args) -> Result<(), String> {
+    let mode = parse_serve_node(args)?;
+    let ds = load(args)?;
+    non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
+    let n = ds.len() as u32;
+    let (lo, hi) = mode.range;
+    if hi >= n {
+        return Err(format!("--range end {hi} is past the last record {}", n - 1));
+    }
+    let k: usize = parse_positive(args, "k", 10)?;
+    let tau: u32 = parse_positive(args, "tau", (n / 10).max(1))?;
+    let ext_lo = lo.saturating_sub(tau);
+    let slice = Dataset::from_rows(ds.dim(), (ext_lo..=hi).map(|id| ds.row(id).to_vec()));
+    let span = (tau as usize * 4).clamp(1_024, 262_144);
+    let shard_count = (slice.len() / span).max(1);
+    let engine = EngineConfig::new(ds.dim(), span, tau)
+        .skyband_bound(k)
+        .build_from(&slice, shard_count)
+        .map_err(|e| e.to_string())?;
+    let serving = ServeEngine::new(engine, 256, Backpressure::Block);
+    let listener = std::net::TcpListener::bind(&mode.listen)
+        .map_err(|e| format!("--listen {}: {e}", mode.listen))?;
+    let identity = NodeIdentity { base: ext_lo, owned_lo: lo };
+    let server = NodeServer::spawn(listener, serving, identity, NodeServerOptions::default())
+        .map_err(|e| format!("node server: {e}"))?;
+    // Stderr so the readiness line is visible immediately even when stdout
+    // is piped (block-buffered) by a harness.
+    eprintln!(
+        "node listening on {} — owns [{lo}, {hi}], context from {ext_lo}, tau {tau}, k bound {k}",
+        server.addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Builds the coordinator over `--nodes`, retrying while the node
+/// processes finish starting up; only transport errors retry.
+fn connect_cluster(nodes: &[String]) -> Result<Coordinator, String> {
+    let members: Vec<std::sync::Arc<dyn Node>> = nodes
+        .iter()
+        .map(|addr| {
+            std::sync::Arc::new(RemoteNode::connect(addr.clone(), RemoteOptions::default()))
+                as std::sync::Arc<dyn Node>
+        })
+        .collect();
+    let mut attempt = 0u32;
+    loop {
+        match Coordinator::new(members.clone()) {
+            Ok(c) => return Ok(c),
+            Err(e @ (NetError::Io { .. } | NetError::Wire(_))) if attempt < 40 => {
+                attempt += 1;
+                if attempt == 1 {
+                    eprintln!("waiting for nodes to come up ({e})");
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => return Err(format!("cluster: {e}")),
+        }
+    }
+}
+
+/// Drives a query-only client storm through the scatter-gather
+/// coordinator (`serve --nodes`): the deterministic parameter sweep of
+/// `serve`, answered by remote nodes instead of an in-process queue, with
+/// sampled answers re-checked against a local reference engine and
+/// per-node counters in the summary.
+fn serve_cluster(args: &Args, nodes: &[String]) -> Result<(), String> {
+    for flag in ["ingest", "subscribe", "queue-cap", "storage", "spill-after", "result-cache"] {
+        if args.options.contains_key(flag) || args.has(flag) {
+            return Err(format!(
+                "--nodes serving is query-only over remote engines; \
+                 --{flag} applies to single-process serve"
+            ));
+        }
+    }
+    if args.has("reject") {
+        return Err("--nodes serving has no local queue; --reject does not apply".to_string());
+    }
+    let ds = load(args)?;
+    non_empty(&ds, args.positional.first().map_or("input", String::as_str))?;
+    let n = ds.len();
+    let k: usize = parse_positive(args, "k", 10)?;
+    let tau: u32 = parse_positive(args, "tau", ((n as u32) / 10).max(1))?;
+    let algs = parse_algorithms(args.get_or("alg", "all"))?;
+    let mode: ServeMode = parse_serve(args)?;
+    let weights = match args.options.get("weights") {
+        None => None,
+        Some(w) => {
+            let weights = parse_weights(w)?;
+            if weights.len() != ds.dim() {
+                return Err(format!(
+                    "--weights has {} entries but the data has {} attributes",
+                    weights.len(),
+                    ds.dim()
+                ));
+            }
+            Some(weights)
+        }
+    };
+    let scorer = match &weights {
+        None => LinearScorer::uniform(ds.dim()),
+        Some(w) => LinearScorer::new(w.clone()),
+    };
+    let spec = match weights {
+        None => ScorerSpec::Uniform,
+        Some(w) => ScorerSpec::Linear(w),
+    };
+
+    let coordinator = connect_cluster(nodes)?;
+    let total = coordinator.total_len();
+    if total != n {
+        return Err(format!(
+            "cluster covers {total} records but the file holds {n}; \
+             every node must serve a slice of the same file"
+        ));
+    }
+    let cluster_tau = coordinator.cluster_max_tau();
+    if tau > cluster_tau {
+        return Err(format!(
+            "--tau {tau} exceeds the cluster's exactness bound {cluster_tau} \
+             (restart the nodes with a larger --tau)"
+        ));
+    }
+    eprintln!(
+        "cluster of {} nodes covering {total} records (max tau {cluster_tau}); \
+         {} clients x {} requests",
+        nodes.len(),
+        mode.clients,
+        mode.requests,
+    );
+
+    // The reference answers come from a local flat engine over the same
+    // file — the cluster must agree with it bit for bit.
+    let mut reference = DurableTopKEngine::new(ds);
+    if algs.contains(&Algorithm::SBand) {
+        reference = reference.with_skyband_index(k);
+    }
+
+    let per_client = mode.requests.div_ceil(mode.clients);
+    let upto = total as u32;
+    let started = Instant::now();
+    type Sample = (ServeRequest, Vec<u32>);
+    let (latencies, samples, fallbacks) = std::thread::scope(|scope| -> Result<_, String> {
+        let mut clients = Vec::new();
+        for c in 0..mode.clients {
+            let coordinator = &coordinator;
+            let algs = &algs;
+            let spec = spec.clone();
+            clients.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut samples: Vec<Sample> = Vec::new();
+                let mut fallbacks = 0usize;
+                // The same deterministic sweep as single-process serve so
+                // the two modes exercise comparable workloads.
+                for i in (c * per_client)..((c + 1) * per_client).min(mode.requests) {
+                    let b = (i as u32).wrapping_mul(7919) % upto;
+                    let a = b.saturating_sub(1 + (i as u32).wrapping_mul(104_729) % upto);
+                    let req = ServeRequest {
+                        alg: algs[i % algs.len()],
+                        query: DurableQuery {
+                            k: 1 + i % k,
+                            tau: 1 + (i as u32).wrapping_mul(31) % tau,
+                            interval: Window::new(a, b),
+                        },
+                        scorer: spec.clone(),
+                    };
+                    match coordinator.query(&req) {
+                        Ok(response) => {
+                            latencies.push(response.service);
+                            fallbacks += usize::from(response.stats.is_fallback());
+                            if i % 50 == 0 {
+                                samples.push((req, response.records));
+                            }
+                        }
+                        Err(e) => return Err(format!("request {i} failed: {e}")),
+                    }
+                }
+                Ok((latencies, samples, fallbacks))
+            }));
+        }
+        let mut latencies = Vec::new();
+        let mut samples = Vec::new();
+        let mut fallbacks = 0usize;
+        for client in clients {
+            let (lat, smp, fbk) = client.join().map_err(|_| "client thread panicked")??;
+            latencies.extend(lat);
+            samples.extend(smp);
+            fallbacks += fbk;
+        }
+        Ok((latencies, samples, fallbacks))
+    })?;
+    let elapsed = started.elapsed();
+
+    // Exactness spot-check: scatter-gather answers must match the local
+    // reference engine record for record.
+    for (req, records) in &samples {
+        let direct = reference.query(req.alg, &scorer, &req.query);
+        if &direct.records != records {
+            return Err(format!(
+                "cluster answer diverged from the reference for {req:?}: {} vs {} records",
+                records.len(),
+                direct.records.len()
+            ));
+        }
+    }
+
+    let stats = coordinator.stats();
+    let retries: u64 = stats.nodes.iter().map(|node| node.net_retries).sum();
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    // `fallbacks=` and the per-node `requests=` counts are machine-checked
+    // by the CI multi-node smoke.
+    println!(
+        "served {} requests in {elapsed:.2?} ({:.0} req/s) — {} verified, fallbacks={fallbacks}, \
+         nodes={} net-retries={retries}",
+        latencies.len(),
+        latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        samples.len(),
+        stats.nodes.len(),
+    );
+    println!(
+        "latency p50={:.2?} p99={:.2?} max={:.2?}",
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or_default(),
+    );
+    for (i, node) in stats.nodes.iter().enumerate() {
+        println!(
+            "node[{i}] {} requests={} errors={} net-retries={} p50={:.2?} p99={:.2?}",
+            node.label, node.requests, node.errors, node.net_retries, node.p50, node.p99,
         );
     }
     Ok(())

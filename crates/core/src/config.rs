@@ -1,0 +1,306 @@
+//! One validated builder for every [`ShardedEngine`] knob.
+//!
+//! The engine grew its options one chainable method at a time —
+//! `try_new_live_with_leaf` + `with_skyband_bound` + `with_storage` +
+//! `with_result_cache` — which meant half the knobs were applied after
+//! construction (sometimes with real work, like a storage migration over an
+//! engine that was empty a microsecond earlier) and none of them were
+//! validated together. [`EngineConfig`] replaces that chain: describe the
+//! engine declaratively, then [`build`](EngineConfig::build) an empty live
+//! engine or [`build_from`](EngineConfig::build_from) a batch engine over
+//! an existing dataset, with every parameter checked up front and reported
+//! as a typed [`BuildError`].
+//!
+//! ```
+//! use durable_topk::{EngineConfig, SealMode};
+//!
+//! let mut engine = EngineConfig::new(2, 1_024, 64)
+//!     .skyband_bound(10)
+//!     .result_cache(1 << 20)
+//!     .seal_mode(SealMode::Synchronous)
+//!     .build()
+//!     .expect("valid configuration");
+//! engine.append(&[1.0, 2.0]);
+//! ```
+//!
+//! The old chainable methods survive as `#[deprecated]` shims so downstream
+//! code keeps compiling while it migrates; the only post-construction
+//! mutation with standalone semantics —
+//! [`migrate_storage`](ShardedEngine::migrate_storage), which re-homes the
+//! sealed tails of a *running* engine — remains a first-class method.
+
+use crate::error::BuildError;
+use crate::sharded::{SealMode, ShardedEngine};
+use crate::storage::ShardStorage;
+use durable_topk_index::DEFAULT_LEAF_SIZE;
+use durable_topk_temporal::{Dataset, Time};
+use std::sync::Arc;
+
+/// Declarative configuration for a [`ShardedEngine`]: required shape
+/// parameters up front, optional subsystems as chainable setters, one
+/// validated build step.
+#[derive(Clone)]
+pub struct EngineConfig {
+    pub(crate) dim: usize,
+    pub(crate) shard_span: usize,
+    pub(crate) max_tau: Time,
+    pub(crate) leaf_size: usize,
+    pub(crate) skyband_bound: Option<usize>,
+    pub(crate) merge_limit: Option<usize>,
+    pub(crate) seal_mode: SealMode,
+    pub(crate) storage: Option<Arc<dyn ShardStorage>>,
+    pub(crate) result_cache_bytes: Option<usize>,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("dim", &self.dim)
+            .field("shard_span", &self.shard_span)
+            .field("max_tau", &self.max_tau)
+            .field("leaf_size", &self.leaf_size)
+            .field("skyband_bound", &self.skyband_bound)
+            .field("merge_limit", &self.merge_limit)
+            .field("seal_mode", &self.seal_mode)
+            .field("storage", &self.storage.as_ref().map(|_| "<backend>"))
+            .field("result_cache_bytes", &self.result_cache_bytes)
+            .finish()
+    }
+}
+
+impl EngineConfig {
+    /// Starts a configuration from the three required shape parameters:
+    /// attribute arity, owned records per sealed shard, and the largest
+    /// `τ` the engine must answer exactly.
+    pub fn new(dim: usize, shard_span: usize, max_tau: Time) -> Self {
+        Self {
+            dim,
+            shard_span,
+            max_tau,
+            leaf_size: DEFAULT_LEAF_SIZE,
+            skyband_bound: None,
+            merge_limit: None,
+            seal_mode: SealMode::Background,
+            storage: None,
+            result_cache_bytes: None,
+        }
+    }
+
+    /// Index leaf granularity for the head forest and sealed trees
+    /// (default: [`DEFAULT_LEAF_SIZE`]). Streaming callers ingesting few
+    /// records per query may prefer smaller leaves.
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = leaf_size;
+        self
+    }
+
+    /// Maintains the durable k-skyband for `k <= k_max`, serving
+    /// [`Algorithm::SBand`](crate::Algorithm::SBand) natively (without
+    /// fallback) on every substrate — head, in-flight seals, sealed tails.
+    pub fn skyband_bound(mut self, k_max: usize) -> Self {
+        self.skyband_bound = Some(k_max);
+        self
+    }
+
+    /// Caps the head forest's merge cascade at `cap` records per merge
+    /// instead of the span-derived default (`span/4`, clamped) — the knob
+    /// previously reached through the index-level `with_merge_limit`.
+    pub fn merge_limit(mut self, cap: usize) -> Self {
+        self.merge_limit = Some(cap);
+        self
+    }
+
+    /// Selects how head seals are executed (default:
+    /// [`SealMode::Background`]).
+    pub fn seal_mode(mut self, mode: SealMode) -> Self {
+        self.seal_mode = mode;
+        self
+    }
+
+    /// Storage backend for sealed tails' record chunks (default:
+    /// [`MemoryStorage`](crate::MemoryStorage)). In
+    /// [`build_from`](EngineConfig::build_from) the freshly built tails
+    /// are stored straight into this backend, so a
+    /// [`PagedStorage`](crate::PagedStorage) starts spilling immediately.
+    pub fn storage(mut self, storage: Arc<dyn ShardStorage>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Enables the sealed-shard result cache with the given byte budget
+    /// (see [`ShardResultCache`](crate::ShardResultCache)).
+    pub fn result_cache(mut self, budget_bytes: usize) -> Self {
+        self.result_cache_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Validates every parameter that does not depend on a dataset.
+    fn validate(&self) -> Result<(), BuildError> {
+        if self.dim == 0 {
+            return Err(BuildError::ZeroParam("dim"));
+        }
+        if self.shard_span == 0 {
+            return Err(BuildError::ZeroParam("shard_span"));
+        }
+        if self.max_tau == 0 {
+            return Err(BuildError::ZeroParam("max_tau"));
+        }
+        if self.leaf_size == 0 {
+            return Err(BuildError::ZeroParam("leaf size"));
+        }
+        if self.skyband_bound == Some(0) {
+            return Err(BuildError::ZeroParam("skyband bound"));
+        }
+        if self.merge_limit == Some(0) {
+            return Err(BuildError::ZeroParam("merge limit"));
+        }
+        if self.result_cache_bytes == Some(0) {
+            return Err(BuildError::ZeroParam("result cache budget"));
+        }
+        Ok(())
+    }
+
+    /// Builds an empty, appendable engine: records arrive via
+    /// [`append`](ShardedEngine::append), shards seal every `shard_span`
+    /// records, and queries are exact for `τ ≤ max_tau`.
+    pub fn build(self) -> Result<ShardedEngine, BuildError> {
+        self.validate()?;
+        ShardedEngine::live_from_config(self)
+    }
+
+    /// Builds an engine over `ds` partitioned into `shard_count`
+    /// contiguous time shards (capped at the dataset size), then applies
+    /// every configured subsystem. The engine stays appendable.
+    ///
+    /// The partition supersedes [`shard_span`](EngineConfig::new): each
+    /// sealed shard owns `ceil(ds.len() / shard_count)` records, and that
+    /// figure also becomes the span at which future appends seal.
+    pub fn build_from(self, ds: &Dataset, shard_count: usize) -> Result<ShardedEngine, BuildError> {
+        self.validate()?;
+        if ds.dim() != self.dim {
+            return Err(BuildError::DimMismatch { config: self.dim, data: ds.dim() });
+        }
+        ShardedEngine::batch_from_config(self, ds, shard_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Algorithm, DurableTopKEngine};
+    use crate::query::DurableQuery;
+    use crate::storage::PagedStorage;
+    use durable_topk_temporal::{LinearScorer, Window};
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::from_rows(2, (0..n).map(|i| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64]))
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected_by_name() {
+        assert_eq!(EngineConfig::new(0, 8, 4).build().unwrap_err(), BuildError::ZeroParam("dim"));
+        assert_eq!(
+            EngineConfig::new(2, 0, 4).build().unwrap_err(),
+            BuildError::ZeroParam("shard_span")
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 0).build().unwrap_err(),
+            BuildError::ZeroParam("max_tau")
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).leaf_size(0).build().unwrap_err(),
+            BuildError::ZeroParam("leaf size")
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).skyband_bound(0).build().unwrap_err(),
+            BuildError::ZeroParam("skyband bound")
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).merge_limit(0).build().unwrap_err(),
+            BuildError::ZeroParam("merge limit")
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).result_cache(0).build().unwrap_err(),
+            BuildError::ZeroParam("result cache budget")
+        );
+    }
+
+    #[test]
+    fn build_from_checks_the_dataset_too() {
+        let ds = dataset(10);
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).build_from(&Dataset::new(2), 2).unwrap_err(),
+            BuildError::EmptyDataset
+        );
+        assert_eq!(
+            EngineConfig::new(2, 8, 4).build_from(&ds, 0).unwrap_err(),
+            BuildError::ZeroParam("shard_count")
+        );
+        assert_eq!(
+            EngineConfig::new(3, 8, 4).build_from(&ds, 2).unwrap_err(),
+            BuildError::DimMismatch { config: 3, data: 2 }
+        );
+    }
+
+    #[test]
+    fn configured_live_engine_matches_flat_and_keeps_every_subsystem() {
+        let ds = dataset(300);
+        let mut live = EngineConfig::new(2, 48, 24)
+            .skyband_bound(4)
+            .result_cache(1 << 20)
+            .storage(Arc::new(PagedStorage::with_temp_file(2).expect("paged backend")))
+            .build()
+            .expect("valid configuration");
+        for id in 0..300u32 {
+            live.append(ds.row(id));
+        }
+        live.quiesce();
+        assert!(live.result_cache().is_some(), "result cache configured");
+        assert!(live.storage().stats().spilled_chunks > 0, "paged backend spills");
+        let flat = DurableTopKEngine::new(ds).with_skyband_index(4);
+        let scorer = LinearScorer::new(vec![0.6, 0.4]);
+        let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 299) };
+        for alg in Algorithm::ALL {
+            let got = live.query(alg, &scorer, &q);
+            assert_eq!(got.records, flat.query(alg, &scorer, &q).records, "alg={alg}");
+            assert!(got.stats.fallback.is_none(), "alg={alg} must not fall back");
+        }
+    }
+
+    #[test]
+    fn build_from_partitions_and_serves_sband_without_fallback() {
+        let ds = dataset(400);
+        let engine = EngineConfig::new(2, 9_999, 40)
+            .skyband_bound(6)
+            .build_from(&ds, 5)
+            .expect("valid configuration");
+        assert_eq!(engine.sealed_shards(), 5);
+        let flat = DurableTopKEngine::new(ds).with_skyband_index(6);
+        let scorer = LinearScorer::new(vec![0.3, 0.7]);
+        let q = DurableQuery { k: 4, tau: 30, interval: Window::new(0, 399) };
+        let got = engine.query(Algorithm::SBand, &scorer, &q);
+        assert_eq!(got.records, flat.query(Algorithm::SBand, &scorer, &q).records);
+        assert!(got.stats.fallback.is_none());
+    }
+
+    #[test]
+    fn merge_limit_and_leaf_size_only_change_performance_shape() {
+        let ds = dataset(200);
+        let mut tuned = EngineConfig::new(2, 32, 16)
+            .leaf_size(8)
+            .merge_limit(64)
+            .build()
+            .expect("valid configuration");
+        let mut stock = EngineConfig::new(2, 32, 16).build().expect("valid configuration");
+        for id in 0..200u32 {
+            tuned.append(ds.row(id));
+            stock.append(ds.row(id));
+        }
+        let scorer = LinearScorer::uniform(2);
+        let q = DurableQuery { k: 2, tau: 12, interval: Window::new(0, 199) };
+        assert_eq!(
+            tuned.query(Algorithm::THop, &scorer, &q).records,
+            stock.query(Algorithm::THop, &scorer, &q).records
+        );
+    }
+}

@@ -224,17 +224,6 @@ impl DurableTopKEngine {
         self.query_with(alg, scorer, query, &mut QueryContext::new())
     }
 
-    /// Dynamic-dispatch shim over [`query`](DurableTopKEngine::query) for
-    /// callers that select the scorer at run time (e.g. the CLI).
-    pub fn query_dyn(
-        &self,
-        alg: Algorithm,
-        scorer: &dyn OracleScorer,
-        query: &DurableQuery,
-    ) -> QueryResult {
-        self.query(alg, scorer, query)
-    }
-
     /// Answers `DurTop(k, I, τ)` with look-back durability windows, drawing
     /// all working memory from `ctx` — the allocation-free path.
     ///

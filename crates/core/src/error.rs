@@ -82,6 +82,14 @@ pub enum BuildError {
     /// A structural parameter (`dim`, `shard_count`, `shard_span`,
     /// `max_tau`, `leaf_size`) was zero; the name says which.
     ZeroParam(&'static str),
+    /// An [`EngineConfig`](crate::EngineConfig) declared one attribute
+    /// arity but was asked to build over a dataset with another.
+    DimMismatch {
+        /// Arity the configuration declared.
+        config: usize,
+        /// Arity of the dataset handed to `build_from`.
+        data: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -89,6 +97,9 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::EmptyDataset => write!(f, "cannot build an engine over an empty dataset"),
             BuildError::ZeroParam(name) => write!(f, "{name} must be positive"),
+            BuildError::DimMismatch { config, data } => {
+                write!(f, "configuration declares {config} attributes but the dataset has {data}")
+            }
         }
     }
 }

@@ -41,6 +41,7 @@
 pub mod algorithms;
 pub mod alternatives;
 pub mod batch;
+pub mod config;
 pub mod context;
 pub mod duration;
 pub mod engine;
@@ -63,6 +64,7 @@ mod sync;
 pub use durable_topk_check as check;
 
 pub use batch::{batch_query, BatchExecutor};
+pub use config::EngineConfig;
 pub use context::QueryContext;
 pub use engine::{Algorithm, DurableTopKEngine};
 pub use error::{BuildError, QueryError};
@@ -71,8 +73,8 @@ pub use pool::WorkerPool;
 pub use query::{DurableQuery, FallbackReason, QueryResult, QueryStats};
 pub use result_cache::{ResultCacheStats, ShardResultCache};
 pub use serve::{
-    Backpressure, ResponseHandle, ScorerSpec, ServeEngine, ServeError, ServeRequest, ServeResponse,
-    ServeStats,
+    execute_request, Backpressure, ResponseHandle, ScorerSpec, ServeEngine, ServeError,
+    ServeRequest, ServeResponse, ServeStats,
 };
 pub use sharded::{SealMode, ShardedEngine};
 pub use storage::{ChunkId, MemoryStorage, PagedStorage, ShardStorage, StorageStats};

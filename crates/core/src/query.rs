@@ -126,7 +126,7 @@ pub struct QueryStats {
     /// Per-shard probes answered from the sealed-shard result cache
     /// (each one skipped its `storage.fetch` and its algorithm run
     /// entirely). Always `0` without a cache configured — see
-    /// [`ShardedEngine::with_result_cache`](crate::ShardedEngine::with_result_cache).
+    /// [`EngineConfig::result_cache`](crate::EngineConfig::result_cache).
     pub cache_hits: u64,
     /// Cacheable per-shard probes that ran because no memoized answer
     /// existed yet (uncacheable probes — boundary pieces, unfingerprintable

@@ -18,7 +18,7 @@
 //! * **Shard generation** — a process-global, never-reused id
 //!   (`next_shard_gen`, crate-private) stamped onto each shard when it is
 //!   sealed (and
-//!   re-stamped when [`with_storage`](crate::ShardedEngine::with_storage)
+//!   re-stamped when [`migrate_storage`](crate::ShardedEngine::migrate_storage)
 //!   migrates it to a new backend). Seal cascades, migrations and head
 //!   splices therefore invalidate *for free*: the superseded generation can
 //!   never be probed again, and its entries age out of the LRU. Nothing is

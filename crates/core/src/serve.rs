@@ -78,7 +78,7 @@ impl ScorerSpec {
     /// The structural fingerprint of the scorer this spec resolves to for
     /// a `dim`-attribute engine — what the sealed-shard result cache keys
     /// memoized answers on (see
-    /// [`ShardedEngine::with_result_cache`](crate::ShardedEngine::with_result_cache)).
+    /// [`EngineConfig::result_cache`](crate::EngineConfig::result_cache)).
     ///
     /// `Uniform`, `Linear` and `Cosine` hash their resolved weight vectors
     /// bit-exactly; `Custom` reports whatever the trait object's
@@ -335,7 +335,7 @@ impl Shared {
         // on exclusive-access panics, so readers stay healthy.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let engine = self.read_engine();
-            execute(&engine, &item.req)
+            execute_request(&engine, &item.req)
         }));
         let service = started.elapsed();
         let result = match outcome {
@@ -413,10 +413,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
-/// Resolves the scorer spec and runs the query — scorer resolution is
-/// shared with the subscription layer, so requests and standing queries
-/// cannot drift on validation.
-fn execute(
+/// Resolves a request's [`ScorerSpec`] to a concrete monomorphized scorer
+/// and runs its query against `engine` on the calling thread.
+///
+/// This is the one execution path every consumer of plain-data requests
+/// shares — the serve queue's workers, the subscription refresh planner,
+/// and network nodes (which execute decoded wire requests on their own
+/// connection threads) — so validation and scorer resolution can never
+/// drift between them. Arity errors surface as
+/// [`QueryError::Arity`](crate::QueryError) like any other bad input.
+pub fn execute_request(
     engine: &ShardedEngine,
     req: &ServeRequest,
 ) -> Result<(Vec<RecordId>, QueryStats), QueryError> {
@@ -835,7 +841,7 @@ mod tests {
 
     #[test]
     fn standing_queries_refresh_incrementally_on_append() {
-        let engine = ShardedEngine::new_live(2, 32, 16).with_skyband_bound(4);
+        let engine = crate::EngineConfig::new(2, 32, 16).skyband_bound(4).build().expect("config");
         let serve = ServeEngine::new(engine, 8, Backpressure::Block);
         let row = |i: usize| [((i * 37) % 101) as f64, ((i * 73) % 97) as f64];
         for i in 0..80 {

@@ -42,6 +42,7 @@
 //! history for every `τ ≤ max_tau`.
 
 use crate::check::LockClass;
+use crate::config::EngineConfig;
 use crate::context::QueryContext;
 use crate::engine::{run_algorithm, Algorithm};
 use crate::error::{BuildError, QueryError};
@@ -216,7 +217,8 @@ pub struct ShardedEngine {
     tails: Vec<Shard>,
     /// Where sealed tails' record chunks live — [`MemoryStorage`] by
     /// default, [`PagedStorage`](crate::PagedStorage) to spill old chunks
-    /// to pager-backed pages (see [`with_storage`](ShardedEngine::with_storage)).
+    /// to pager-backed pages (see [`EngineConfig::storage`] and
+    /// [`migrate_storage`](ShardedEngine::migrate_storage)).
     storage: Arc<dyn ShardStorage>,
     /// Seals handed to the pool, oldest first. Their snapshots keep
     /// serving queries until a `&mut self` call splices the published
@@ -232,6 +234,9 @@ pub struct ShardedEngine {
     k_max: Option<usize>,
     /// Leaf granularity of the head forest and sealed trees.
     leaf_size: usize,
+    /// Explicit head-forest merge cascade cap; `None` derives it from the
+    /// shard span (see [`merge_cap_for`]).
+    merge_cap_override: Option<usize>,
     seal_mode: SealMode,
     /// Memoized immutable per-shard answers, consulted by the `Job::Tail`
     /// arm of [`try_query`](ShardedEngine::try_query) before `storage.fetch`
@@ -264,33 +269,44 @@ impl ShardedEngine {
     /// As [`new_live`](ShardedEngine::new_live), returning a typed error
     /// instead of panicking on zero parameters.
     pub fn try_new_live(dim: usize, shard_span: usize, max_tau: Time) -> Result<Self, BuildError> {
-        Self::try_new_live_with_leaf(dim, shard_span, max_tau, DEFAULT_LEAF_SIZE)
+        Self::try_new_live_inner(dim, shard_span, max_tau, DEFAULT_LEAF_SIZE, None)
     }
 
     /// As [`new_live`](ShardedEngine::new_live) with an explicit index
-    /// leaf granularity (streaming callers ingesting few records per query
-    /// may prefer smaller leaves).
+    /// leaf granularity.
     ///
     /// # Panics
     /// Panics if any parameter is zero.
+    #[deprecated(note = "use `EngineConfig::new(dim, span, max_tau).leaf_size(n).build()`")]
     pub fn new_live_with_leaf(
         dim: usize,
         shard_span: usize,
         max_tau: Time,
         leaf_size: usize,
     ) -> Self {
-        Self::try_new_live_with_leaf(dim, shard_span, max_tau, leaf_size)
+        Self::try_new_live_inner(dim, shard_span, max_tau, leaf_size, None)
             // lint: allow(panic) — documented-panic wrapper.
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// As [`new_live_with_leaf`](ShardedEngine::new_live_with_leaf),
-    /// returning a typed error instead of panicking on zero parameters.
+    /// As `new_live_with_leaf`, returning a typed error instead of
+    /// panicking on zero parameters.
+    #[deprecated(note = "use `EngineConfig::new(dim, span, max_tau).leaf_size(n).build()`")]
     pub fn try_new_live_with_leaf(
         dim: usize,
         shard_span: usize,
         max_tau: Time,
         leaf_size: usize,
+    ) -> Result<Self, BuildError> {
+        Self::try_new_live_inner(dim, shard_span, max_tau, leaf_size, None)
+    }
+
+    fn try_new_live_inner(
+        dim: usize,
+        shard_span: usize,
+        max_tau: Time,
+        leaf_size: usize,
+        merge_cap_override: Option<usize>,
     ) -> Result<Self, BuildError> {
         if dim == 0 {
             return Err(BuildError::ZeroParam("dim"));
@@ -304,17 +320,19 @@ impl ShardedEngine {
         if leaf_size == 0 {
             return Err(BuildError::ZeroParam("leaf size"));
         }
+        let merge_cap = merge_cap_override.unwrap_or_else(|| merge_cap_for(shard_span));
         Ok(Self {
             tails: Vec::new(),
             storage: Arc::new(MemoryStorage::new()),
             pending: Vec::new(),
-            head: Head::empty(dim, leaf_size, merge_cap_for(shard_span), 0, None),
+            head: Head::empty(dim, leaf_size, merge_cap, 0, None),
             shard_span,
             max_tau,
             len: 0,
             dim,
             k_max: None,
             leaf_size,
+            merge_cap_override,
             seal_mode: SealMode::Background,
             result_cache: None,
             seal_epoch: 0,
@@ -322,22 +340,88 @@ impl ShardedEngine {
         })
     }
 
+    /// Builds an empty live engine from a validated [`EngineConfig`] — the
+    /// implementation behind [`EngineConfig::build`].
+    pub(crate) fn live_from_config(cfg: EngineConfig) -> Result<Self, BuildError> {
+        let mut engine = Self::try_new_live_inner(
+            cfg.dim,
+            cfg.shard_span,
+            cfg.max_tau,
+            cfg.leaf_size,
+            cfg.merge_limit,
+        )?;
+        if let Some(k_max) = cfg.skyband_bound {
+            engine.set_skyband_bound(k_max);
+        }
+        engine.seal_mode = cfg.seal_mode;
+        if let Some(storage) = cfg.storage {
+            engine = engine.migrate_storage(storage);
+        }
+        if let Some(bytes) = cfg.result_cache_bytes {
+            engine.set_result_cache(bytes);
+        }
+        Ok(engine)
+    }
+
+    /// Builds a batch engine over `ds` from a validated [`EngineConfig`] —
+    /// the implementation behind [`EngineConfig::build_from`].
+    pub(crate) fn batch_from_config(
+        cfg: EngineConfig,
+        ds: &Dataset,
+        shard_count: usize,
+    ) -> Result<Self, BuildError> {
+        let mut engine = Self::build_inner(
+            ds,
+            shard_count,
+            cfg.max_tau,
+            cfg.skyband_bound,
+            cfg.leaf_size,
+            cfg.merge_limit,
+            cfg.seal_mode,
+        )?;
+        if let Some(storage) = cfg.storage {
+            engine = engine.migrate_storage(storage);
+        }
+        if let Some(bytes) = cfg.result_cache_bytes {
+            engine.set_result_cache(bytes);
+        }
+        Ok(engine)
+    }
+
     /// Requests durable k-skyband maintenance (serving [`Algorithm::SBand`]
     /// natively, without fallback) for `k <= k_max`: the mutable head —
     /// including any records it already holds — gains an incrementally
     /// maintained skyband candidate set, and every shard sealed from now
     /// on freezes those durations into its static index.
-    pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
+    pub(crate) fn set_skyband_bound(&mut self, k_max: usize) {
         self.k_max = Some(k_max);
         let index = std::mem::replace(&mut self.head.index, AppendableTopKIndex::new(1));
         self.head.index = index.with_skyband_bound(&self.head.ds, k_max);
+    }
+
+    /// Enables the sealed-shard result cache with the given byte budget
+    /// (see [`EngineConfig::result_cache`]).
+    pub(crate) fn set_result_cache(&mut self, budget_bytes: usize) {
+        self.result_cache = Some(Arc::new(ShardResultCache::new(budget_bytes)));
+    }
+
+    /// Selects how head seals are executed (see [`SealMode`]).
+    pub(crate) fn set_seal_mode(&mut self, mode: SealMode) {
+        self.seal_mode = mode;
+    }
+
+    /// As `set_skyband_bound`, chainable.
+    #[deprecated(note = "use `EngineConfig::new(..).skyband_bound(k_max).build()`")]
+    pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
+        self.set_skyband_bound(k_max);
         self
     }
 
     /// Selects how head seals are executed (default:
     /// [`SealMode::Background`]).
+    #[deprecated(note = "use `EngineConfig::new(..).seal_mode(mode).build()`")]
     pub fn with_seal_mode(mut self, mode: SealMode) -> Self {
-        self.seal_mode = mode;
+        self.set_seal_mode(mode);
         self
     }
 
@@ -349,7 +433,10 @@ impl ShardedEngine {
     /// spilling everything older than its residency window. Answers are
     /// bit-identical under every backend; only residency and query-time
     /// page faults ([`QueryStats::cold_page_hits`]) change.
-    pub fn with_storage(mut self, storage: Arc<dyn ShardStorage>) -> Self {
+    ///
+    /// This is the mid-life migration API; to start an engine on a
+    /// non-default backend, use [`EngineConfig::storage`] instead.
+    pub fn migrate_storage(mut self, storage: Arc<dyn ShardStorage>) -> Self {
         self.quiesce();
         for shard in &mut self.tails {
             let (chunk, _) = self.storage.fetch(shard.chunk);
@@ -360,6 +447,14 @@ impl ShardedEngine {
         }
         self.storage = storage;
         self
+    }
+
+    /// As [`migrate_storage`](ShardedEngine::migrate_storage), under the
+    /// builder-chain name.
+    #[deprecated(note = "use `EngineConfig::new(..).storage(backend).build()` at construction, \
+                         or `migrate_storage` for a mid-life backend switch")]
+    pub fn with_storage(self, storage: Arc<dyn ShardStorage>) -> Self {
+        self.migrate_storage(storage)
     }
 
     /// The storage backend holding the sealed tails' record chunks (its
@@ -379,8 +474,9 @@ impl ShardedEngine {
     /// and without the cache at every point of the ingestion timeline;
     /// scorers without a structural fingerprint (opaque
     /// [`ScorerSpec::Custom`](crate::ScorerSpec) closures) bypass it.
+    #[deprecated(note = "use `EngineConfig::new(..).result_cache(bytes).build()`")]
     pub fn with_result_cache(mut self, budget_bytes: usize) -> Self {
-        self.result_cache = Some(Arc::new(ShardResultCache::new(budget_bytes)));
+        self.set_result_cache(budget_bytes);
         self
     }
 
@@ -404,7 +500,15 @@ impl ShardedEngine {
     /// panicking, so a serving front end can surface bad input as a
     /// response rather than an abort.
     pub fn build(ds: &Dataset, shard_count: usize, max_tau: Time) -> Result<Self, BuildError> {
-        Self::build_inner(ds, shard_count, max_tau, None)
+        Self::build_inner(
+            ds,
+            shard_count,
+            max_tau,
+            None,
+            DEFAULT_LEAF_SIZE,
+            None,
+            SealMode::Background,
+        )
     }
 
     /// As [`build`](ShardedEngine::build), additionally constructing each
@@ -416,7 +520,15 @@ impl ShardedEngine {
         max_tau: Time,
         k_max: usize,
     ) -> Result<Self, BuildError> {
-        Self::build_inner(ds, shard_count, max_tau, Some(k_max))
+        Self::build_inner(
+            ds,
+            shard_count,
+            max_tau,
+            Some(k_max),
+            DEFAULT_LEAF_SIZE,
+            None,
+            SealMode::Background,
+        )
     }
 
     fn build_inner(
@@ -424,6 +536,9 @@ impl ShardedEngine {
         shard_count: usize,
         max_tau: Time,
         k_max: Option<usize>,
+        leaf_size: usize,
+        merge_cap_override: Option<usize>,
+        seal_mode: SealMode,
     ) -> Result<Self, BuildError> {
         if ds.is_empty() {
             return Err(BuildError::EmptyDataset);
@@ -433,6 +548,9 @@ impl ShardedEngine {
         }
         if max_tau == 0 {
             return Err(BuildError::ZeroParam("max_tau"));
+        }
+        if leaf_size == 0 {
+            return Err(BuildError::ZeroParam("leaf size"));
         }
         let n = ds.len();
         let per_shard = n.div_ceil(shard_count.min(n));
@@ -480,18 +598,20 @@ impl ShardedEngine {
             .collect();
 
         // Prime an empty head with the trailing max_tau records as context.
+        let head_cap = merge_cap_override.unwrap_or_else(|| merge_cap_for(per_shard));
         let mut engine = Self {
             tails,
             storage,
             pending: Vec::new(),
-            head: Head::empty(ds.dim(), DEFAULT_LEAF_SIZE, merge_cap_for(per_shard), n, k_max),
+            head: Head::empty(ds.dim(), leaf_size, head_cap, n, k_max),
             shard_span: per_shard,
             max_tau,
             len: n,
             dim: ds.dim(),
             k_max,
-            leaf_size: DEFAULT_LEAF_SIZE,
-            seal_mode: SealMode::Background,
+            leaf_size,
+            merge_cap_override,
+            seal_mode,
             result_cache: None,
             seal_epoch: 0,
             retired_queries: std::sync::atomic::AtomicU64::new(0),
@@ -505,9 +625,9 @@ impl ShardedEngine {
     /// every `shard_span` records anyway, so merges beyond a fraction of
     /// the span are wasted work *and* the dominant append-latency spike;
     /// capping them bounds the worst single append at an `O(span/4)`
-    /// rebuild.
+    /// rebuild. [`EngineConfig::merge_limit`] overrides the derived value.
     fn merge_cap(&self) -> usize {
-        merge_cap_for(self.shard_span)
+        self.merge_cap_override.unwrap_or_else(|| merge_cap_for(self.shard_span))
     }
 
     /// Builds a head whose context is the trailing `max_tau` of the first
@@ -568,15 +688,10 @@ impl ShardedEngine {
             self.integrate_front_blocking();
         }
         let hi = (self.len - 1) as Time;
+        let merge_cap = self.merge_cap();
         let head = std::mem::replace(
             &mut self.head,
-            Head::empty(
-                self.dim,
-                self.leaf_size,
-                merge_cap_for(self.shard_span),
-                self.len,
-                self.k_max,
-            ),
+            Head::empty(self.dim, self.leaf_size, merge_cap, self.len, self.k_max),
         );
         let snap = Arc::new(HeadSnapshot {
             ds: Arc::new(head.ds),
@@ -720,6 +835,23 @@ impl ShardedEngine {
         self.seal_epoch
     }
 
+    /// The owned `[lo, hi]` record range of every shard in time order:
+    /// integrated tails, then in-flight seal snapshots, then the mutable
+    /// head when it owns records. Ranges are disjoint, contiguous, and
+    /// cover `[0, len)`; each shard additionally holds up to `max_tau`
+    /// records of left context, which is an implementation detail of
+    /// exactness and not reported here. This is the routing table a
+    /// scatter-gather coordinator works from.
+    pub fn shard_ranges(&self) -> Vec<(Time, Time)> {
+        let mut ranges: Vec<(Time, Time)> =
+            self.tails.iter().map(|shard| (shard.lo, shard.hi)).collect();
+        ranges.extend(self.pending.iter().map(|p| (p.snap.lo, p.snap.hi)));
+        if self.head_owned() > 0 {
+            ranges.push((self.head.lo, (self.len - 1) as Time));
+        }
+        ranges
+    }
+
     /// The newest record's durable k-skyband duration at the level
     /// serving `k`, read from the head forest's incremental maintainer.
     ///
@@ -752,8 +884,7 @@ impl ShardedEngine {
     /// [`DurableTopKEngine::query`](crate::DurableTopKEngine::query) over the same
     /// history for `τ ≤ max_tau`.
     ///
-    /// With a skyband bound configured
-    /// ([`with_skyband_bound`](ShardedEngine::with_skyband_bound) /
+    /// With a skyband bound configured ([`EngineConfig::skyband_bound`] /
     /// [`build_with_skyband`](ShardedEngine::build_with_skyband)),
     /// [`Algorithm::SBand`] runs natively everywhere — sealed tails,
     /// snapshots whose background seal is still in flight, and the mutable
@@ -1251,8 +1382,10 @@ mod tests {
         let ds = dataset(400);
         let scorer = LinearScorer::new(vec![0.3, 0.7]);
         let mut background = ShardedEngine::new_live(2, 32, 24);
-        let mut synchronous =
-            ShardedEngine::new_live(2, 32, 24).with_seal_mode(SealMode::Synchronous);
+        let mut synchronous = EngineConfig::new(2, 32, 24)
+            .seal_mode(SealMode::Synchronous)
+            .build()
+            .expect("config builds");
         for id in 0..400u32 {
             background.append(ds.row(id));
             synchronous.append(ds.row(id));
@@ -1348,7 +1481,7 @@ mod tests {
     fn live_skyband_bound_serves_every_substrate_without_fallback() {
         let ds = dataset(256);
         let scorer = LinearScorer::new(vec![0.8, 0.2]);
-        let mut live = ShardedEngine::new_live(2, 64, 30).with_skyband_bound(4);
+        let mut live = EngineConfig::new(2, 64, 30).skyband_bound(4).build().expect("config");
         let q = DurableQuery { k: 3, tau: 20, interval: Window::new(0, 255) };
         for id in 0..256u32 {
             live.append(ds.row(id));
@@ -1375,7 +1508,7 @@ mod tests {
         // head, the regime the S-Hop fallback used to own.
         let ds = dataset(120);
         let scorer = LinearScorer::new(vec![0.35, 0.65]);
-        let mut live = ShardedEngine::new_live(2, 1_000, 25).with_skyband_bound(4);
+        let mut live = EngineConfig::new(2, 1_000, 25).skyband_bound(4).build().expect("config");
         let flat_ref = |n: usize| DurableTopKEngine::new(dataset(n)).with_skyband_index(4);
         for id in 0..120u32 {
             live.append(ds.row(id));
@@ -1409,7 +1542,7 @@ mod tests {
         // Keep only the newest chunk decoded: everything older must be
         // served by faulting pages back in.
         let live =
-            live.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
+            live.migrate_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
         assert!(
             live.storage().stats().spilled_chunks >= 2,
             "spill_after=1 must leave most tails spilled"
@@ -1456,7 +1589,7 @@ mod tests {
         // From zero: the whole history, bit-identical, even with seals in
         // flight and spilled chunks.
         let live =
-            live.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
+            live.migrate_storage(Arc::new(PagedStorage::with_temp_file(1).expect("paged backend")));
         let mut out = Dataset::new(2);
         live.copy_history_into(&mut out, 0);
         assert_eq!(out.raw_attrs(), ds.raw_attrs());

@@ -128,7 +128,11 @@ impl StreamingMonitor {
     /// # Panics
     /// Panics if any parameter is zero.
     pub fn with_bounds(dim: usize, leaf_size: usize, shard_span: usize, max_tau: Time) -> Self {
-        let engine = ShardedEngine::new_live_with_leaf(dim, shard_span, max_tau, leaf_size);
+        let engine = crate::EngineConfig::new(dim, shard_span, max_tau)
+            .leaf_size(leaf_size)
+            .build()
+            // lint: allow(panic) — documented-panic wrapper over EngineConfig::build.
+            .unwrap_or_else(|e| panic!("{e}"));
         let subs = SubscriptionRegistry::anchored(&engine);
         Self {
             engine,
@@ -144,19 +148,19 @@ impl StreamingMonitor {
     /// fast-path gate for standing queries with `k ≤ k_max` (see
     /// [`subscribe`](StreamingMonitor::subscribe)). Call before the first
     /// push.
-    pub fn with_skyband_bound(self, k_max: usize) -> Self {
-        let Self { engine, history, ctx, probe, subs } = self;
-        Self { engine: engine.with_skyband_bound(k_max), history, ctx, probe, subs }
+    pub fn with_skyband_bound(mut self, k_max: usize) -> Self {
+        self.engine.set_skyband_bound(k_max);
+        self
     }
 
     /// Builder: enables the backing engine's sealed-shard result cache
     /// with the given byte budget (see
-    /// [`ShardedEngine::with_result_cache`]) — repeated historical
-    /// `DurTop` queries replay memoized per-shard answers instead of
-    /// re-probing sealed tails.
-    pub fn with_result_cache(self, budget_bytes: usize) -> Self {
-        let Self { engine, history, ctx, probe, subs } = self;
-        Self { engine: engine.with_result_cache(budget_bytes), history, ctx, probe, subs }
+    /// [`EngineConfig::result_cache`](crate::EngineConfig::result_cache))
+    /// — repeated historical `DurTop` queries replay memoized per-shard
+    /// answers instead of re-probing sealed tails.
+    pub fn with_result_cache(mut self, budget_bytes: usize) -> Self {
+        self.engine.set_result_cache(budget_bytes);
+        self
     }
 
     /// Bootstraps the monitor from existing history. The given dataset

@@ -458,7 +458,8 @@ mod tests {
 
     #[test]
     fn registration_materializes_and_appends_refresh_incrementally() {
-        let mut engine = ShardedEngine::new_live(2, 32, 16).with_skyband_bound(4);
+        let mut engine =
+            crate::EngineConfig::new(2, 32, 16).skyband_bound(4).build().expect("config");
         for i in 0..100u32 {
             engine.append(&row(i));
         }

@@ -1,0 +1,332 @@
+//! The scatter-gather [`Coordinator`]: routes a global query to the nodes
+//! whose owned ranges intersect it, fans the per-node pieces out on the
+//! shared worker pool, and merges the answers exactly as
+//! [`ShardedEngine`](durable_topk::ShardedEngine) merges its own shards —
+//! so a cluster answer is bit-identical to the single-node answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use durable_topk::check::{LockClass, TrackedMutex};
+use durable_topk::{
+    DurableQuery, QueryError, QueryStats, RecordId, ServeError, ServeRequest, ServeResponse,
+    ServeStats, Time, Window, WorkerPool,
+};
+
+use crate::error::NetError;
+use crate::node::{Node, NodeRanges};
+
+/// Samples kept per node for the latency percentiles in
+/// [`NodePerf`]; older samples are overwritten ring-buffer style.
+const LATENCY_SAMPLES: usize = 4096;
+
+/// A bounded reservoir of RPC latencies (ring overwrite beyond
+/// [`LATENCY_SAMPLES`]).
+struct LatencyRing {
+    samples: Vec<Duration>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing { samples: Vec::new(), next: 0 }
+    }
+
+    fn record(&mut self, d: Duration) {
+        if self.samples.len() < LATENCY_SAMPLES {
+            self.samples.push(d);
+        } else {
+            self.samples[self.next] = d;
+            self.next = (self.next + 1) % LATENCY_SAMPLES;
+        }
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of the retained samples, by the
+    /// nearest-rank method; zero when nothing has been recorded.
+    fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// One cluster member plus its per-node observability counters.
+struct Member {
+    node: Arc<dyn Node>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: TrackedMutex<LatencyRing>,
+}
+
+/// The validated cluster layout: one descriptor per member, in member
+/// order (ascending `lo`), plus the derived cluster-wide bounds.
+#[derive(Debug, Clone)]
+struct Topology {
+    descs: Vec<NodeRanges>,
+    total_len: usize,
+    cluster_max_tau: Time,
+    dim: usize,
+}
+
+/// Per-node serving counters surfaced through
+/// [`Coordinator::stats`].
+#[derive(Debug, Clone)]
+pub struct NodePerf {
+    /// The node's [`label`](Node::label) (an address for TCP members).
+    pub label: String,
+    /// Queries routed to this node.
+    pub requests: u64,
+    /// Queries that came back with any error.
+    pub errors: u64,
+    /// Transport retries the node's client performed.
+    pub net_retries: u64,
+    /// Median RPC latency over the retained sample window.
+    pub p50: Duration,
+    /// 99th-percentile RPC latency over the retained sample window.
+    pub p99: Duration,
+}
+
+/// A cluster-level stats snapshot ([`Coordinator::stats`]).
+#[derive(Debug, Clone)]
+pub struct CoordinatorStats {
+    /// Per-node counters, in member (timeline) order.
+    pub nodes: Vec<NodePerf>,
+    /// Records covered by the cluster at the last topology refresh.
+    pub total_len: usize,
+    /// The cluster's exactness bound: the largest `τ` every member can
+    /// answer exactly for the pieces it may be routed.
+    pub cluster_max_tau: Time,
+}
+
+/// Routes durable top-k queries across a set of [`Node`]s hosting
+/// contiguous slices of one global timeline.
+///
+/// # Exactness
+///
+/// Routing sends node `i` the piece `I ∩ [lo_i, hi_i]` of the query
+/// interval, translated into the node's local coordinates. Each node
+/// carries `max_tau` records of left context below its owned range, so
+/// every durability window `[t − τ, t]` with `t` owned by the node is
+/// evaluated against the full global history it needs — the same overlap
+/// argument [`ShardedEngine`](durable_topk::ShardedEngine) makes for its
+/// sealed shards, one level up. Answers come back as node-local ids, are
+/// translated to global ids, and are concatenated in timeline order —
+/// owned ranges are disjoint and increasing, so the concatenation is
+/// sorted and equals the single-engine answer record for record.
+///
+/// # Concurrency
+///
+/// The topology snapshot is taken (and the lock released) before any
+/// network traffic; per-node counters are atomics and a
+/// [`LockClass::NetStats`]-ranked latency reservoir recorded after each
+/// RPC returns with nothing else held.
+pub struct Coordinator {
+    members: Vec<Member>,
+    topology: TrackedMutex<Topology>,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `nodes`, fetching every member's
+    /// descriptor and validating that together they tile a contiguous
+    /// global timeline (sorted by owned start, gap-free, dimension-equal,
+    /// each owning at least one record, context backing its `max_tau`).
+    pub fn new(nodes: Vec<Arc<dyn Node>>) -> Result<Coordinator, NetError> {
+        if nodes.is_empty() {
+            return Err(NetError::Topology("a cluster needs at least one node".to_string()));
+        }
+        let mut described: Vec<(Arc<dyn Node>, NodeRanges)> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let desc = node.shard_ranges()?;
+            described.push((node, desc));
+        }
+        described.sort_by_key(|(_, d)| d.lo);
+        let topology = validate(described.iter().map(|(_, d)| d.clone()).collect())?;
+        let members = described
+            .into_iter()
+            .map(|(node, _)| Member {
+                node,
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                latency: TrackedMutex::new(LockClass::NetStats, LatencyRing::new()),
+            })
+            .collect();
+        Ok(Coordinator { members, topology: TrackedMutex::new(LockClass::NetTopology, topology) })
+    }
+
+    /// Re-fetches every member's descriptor (live nodes grow as they
+    /// ingest) and re-validates the cluster layout.
+    pub fn refresh_ranges(&self) -> Result<(), NetError> {
+        let mut descs = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            descs.push(member.node.shard_ranges()?);
+        }
+        // Members were sorted at construction and owned ranges only grow
+        // at the live end, so member order is stable; validate re-checks.
+        let topology = validate(descs)?;
+        *self.topology.lock() = topology;
+        Ok(())
+    }
+
+    /// Answers one global-coordinate query by scatter-gather.
+    ///
+    /// Validation mirrors a single engine: `k`/`τ`/interval checks against
+    /// the cluster's total length, and `τ` beyond the cluster bound is
+    /// [`QueryError::TauExceedsOverlap`]. The fan-out runs on the shared
+    /// [`WorkerPool`], one job per owning node.
+    pub fn query(&self, req: &ServeRequest) -> Result<ServeResponse, NetError> {
+        let start = Instant::now();
+        let topo = self.topology.lock().clone();
+        if req.query.tau > topo.cluster_max_tau {
+            return Err(NetError::Serve(ServeError::Query(QueryError::TauExceedsOverlap {
+                tau: req.query.tau,
+                max_tau: topo.cluster_max_tau,
+            })));
+        }
+        let interval =
+            req.query.check(topo.total_len).map_err(|e| NetError::Serve(ServeError::Query(e)))?;
+
+        // One job per node whose owned range intersects the interval, in
+        // timeline order, each with the piece translated to node-local
+        // coordinates.
+        let mut jobs: Vec<(usize, Time, ServeRequest)> = Vec::new();
+        for (idx, desc) in topo.descs.iter().enumerate() {
+            let owned = Window::new(desc.lo, desc.hi);
+            let Some(piece) = interval.intersect(owned) else { continue };
+            let local = Window::new(piece.start() - desc.ext_lo, piece.end() - desc.ext_lo);
+            jobs.push((
+                idx,
+                desc.ext_lo,
+                ServeRequest {
+                    alg: req.alg,
+                    query: DurableQuery { k: req.query.k, tau: req.query.tau, interval: local },
+                    scorer: req.scorer.clone(),
+                },
+            ));
+        }
+
+        let answers = WorkerPool::global().run_jobs(jobs.len(), jobs.len(), |i, _ctx| {
+            let (idx, _, local_req) = &jobs[i];
+            let member = &self.members[*idx];
+            let rpc_start = Instant::now();
+            let outcome = member.node.query(local_req);
+            let elapsed = rpc_start.elapsed();
+            member.requests.fetch_add(1, Ordering::Relaxed);
+            if outcome.is_err() {
+                member.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            member.latency.lock().record(elapsed);
+            outcome
+        });
+
+        // Merge in timeline order: translate node-local ids back to global
+        // and concatenate — disjoint increasing owned ranges keep the
+        // result sorted, mirroring ShardedEngine's shard merge.
+        let mut records: Vec<RecordId> = Vec::new();
+        let mut stats = QueryStats::default();
+        for ((_, ext_lo, _), answer) in jobs.iter().zip(answers) {
+            let answer = answer?;
+            records.extend(answer.records.iter().map(|&id| id + ext_lo));
+            stats.absorb(&answer.stats);
+        }
+        Ok(ServeResponse { records, stats, queued: Duration::ZERO, service: start.elapsed() })
+    }
+
+    /// Per-node request/error/retry counters and latency percentiles, in
+    /// timeline order.
+    pub fn stats(&self) -> CoordinatorStats {
+        let topo = self.topology.lock().clone();
+        let nodes = self
+            .members
+            .iter()
+            .map(|m| {
+                let latency = m.latency.lock();
+                NodePerf {
+                    label: m.node.label(),
+                    requests: m.requests.load(Ordering::Relaxed),
+                    errors: m.errors.load(Ordering::Relaxed),
+                    net_retries: m.node.net_retries(),
+                    p50: latency.percentile(0.50),
+                    p99: latency.percentile(0.99),
+                }
+            })
+            .collect();
+        CoordinatorStats { nodes, total_len: topo.total_len, cluster_max_tau: topo.cluster_max_tau }
+    }
+
+    /// Fetches every member's own [`ServeStats`] (a live RPC per node),
+    /// in timeline order.
+    pub fn cluster_stats(&self) -> Vec<Result<ServeStats, NetError>> {
+        self.members.iter().map(|m| m.node.stats()).collect()
+    }
+
+    /// The attribute count the cluster agreed on at validation.
+    pub fn dim(&self) -> usize {
+        self.topology.lock().dim
+    }
+
+    /// Records covered by the cluster at the last topology refresh.
+    pub fn total_len(&self) -> usize {
+        self.topology.lock().total_len
+    }
+
+    /// The largest `τ` the cluster answers exactly.
+    pub fn cluster_max_tau(&self) -> Time {
+        self.topology.lock().cluster_max_tau
+    }
+}
+
+/// Checks that sorted descriptors tile a contiguous timeline and derives
+/// the cluster-wide bounds.
+fn validate(descs: Vec<NodeRanges>) -> Result<Topology, NetError> {
+    let first = &descs[0];
+    if first.lo != 0 || first.ext_lo != 0 {
+        return Err(NetError::Topology(format!(
+            "first node must own the timeline start (owns [{}, {}], context from {})",
+            first.lo, first.hi, first.ext_lo
+        )));
+    }
+    let dim = first.dim;
+    let mut cluster_max_tau = Time::MAX;
+    for (i, desc) in descs.iter().enumerate() {
+        if desc.hi < desc.lo {
+            return Err(NetError::Topology(format!(
+                "node {i} owns no records (lo {} > hi {})",
+                desc.lo, desc.hi
+            )));
+        }
+        if desc.dim != dim {
+            return Err(NetError::Topology(format!(
+                "node {i} has {} attributes, node 0 has {dim}",
+                desc.dim
+            )));
+        }
+        if i > 0 {
+            let prev = &descs[i - 1];
+            if desc.lo != prev.hi + 1 {
+                return Err(NetError::Topology(format!(
+                    "node {} ends at {} but node {i} starts at {} (timeline must be contiguous)",
+                    i - 1,
+                    prev.hi,
+                    desc.lo
+                )));
+            }
+            if desc.ext_lo > desc.lo {
+                return Err(NetError::Topology(format!(
+                    "node {i} context starts at {} after its owned start {}",
+                    desc.ext_lo, desc.lo
+                )));
+            }
+            // An interior node answers windows reaching up to τ before its
+            // owned start; its context depth bounds the τ it can serve.
+            cluster_max_tau = cluster_max_tau.min(desc.lo - desc.ext_lo);
+        }
+        cluster_max_tau = cluster_max_tau.min(desc.max_tau);
+    }
+    let last = &descs[descs.len() - 1];
+    Ok(Topology { total_len: last.hi as usize + 1, cluster_max_tau, dim, descs })
+}

@@ -1,0 +1,67 @@
+//! The network layer's error vocabulary.
+
+use durable_topk::ServeError;
+
+use crate::wire::WireError;
+
+/// Why a [`Node`](crate::Node) RPC or a [`Coordinator`](crate::Coordinator)
+/// operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Encoding or decoding a frame failed (includes socket errors caught
+    /// mid-frame — see [`WireError::Io`]).
+    Wire(WireError),
+    /// The connection could not be established or kept alive after the
+    /// configured number of retries.
+    Io {
+        /// The peer address the node was dialing.
+        addr: String,
+        /// The last socket error observed.
+        source: std::io::Error,
+    },
+    /// The peer answered with a frame the protocol does not allow in this
+    /// position (for example [`Stats`](crate::wire::Message::Stats) in
+    /// reply to a query).
+    UnexpectedReply {
+        /// The frame kind the caller was waiting for.
+        expected: &'static str,
+        /// The frame kind that actually arrived.
+        got: &'static str,
+    },
+    /// The node executed the request and reported a serving error.
+    Serve(ServeError),
+    /// The cluster's node descriptors do not form a valid contiguous
+    /// timeline (gaps, overlaps, dimension mismatch, or too little left
+    /// context for the advertised `max_tau`).
+    Topology(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io { addr, source } => write!(f, "connection to {addr} failed: {source}"),
+            NetError::UnexpectedReply { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            NetError::Serve(e) => write!(f, "node error: {e}"),
+            NetError::Topology(msg) => write!(f, "invalid cluster topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Wire(e) => Some(e),
+            NetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}

@@ -1,0 +1,176 @@
+//! The TCP client side: a [`RemoteNode`] speaks the [`wire`](crate::wire)
+//! codec to a [`NodeServer`](crate::NodeServer) and presents it as a
+//! [`Node`].
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use durable_topk::check::{LockClass, TrackedMutex};
+use durable_topk::{ServeRequest, ServeStats};
+
+use crate::error::NetError;
+use crate::node::{Node, NodeAnswer, NodeRanges};
+use crate::wire::{read_message, write_message, Message, WireError};
+
+/// Tunables for [`RemoteNode::connect`].
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// Timeout for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Timeout for each read of a reply frame.
+    pub read_timeout: Duration,
+    /// Transport retries per RPC beyond the first attempt. Each retry
+    /// reconnects from scratch; decode errors and node-reported errors are
+    /// never retried (the node answered — retrying would double-execute).
+    pub max_retries: u32,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            max_retries: 2,
+        }
+    }
+}
+
+/// A cluster member reached over TCP: one lazily-established connection,
+/// re-dialed on socket failure with bounded retries.
+///
+/// The connection is serialized under a
+/// [`LockClass::NetConnection`]-ranked mutex held only for the duration of
+/// one request/response exchange; the coordinator's fan-out sends at most
+/// one in-flight request per node, so serialization costs nothing there.
+pub struct RemoteNode {
+    addr: String,
+    opts: RemoteOptions,
+    conn: TrackedMutex<Option<TcpStream>>,
+    retries: AtomicU64,
+}
+
+impl RemoteNode {
+    /// Creates a client for the node at `addr` (e.g. `"127.0.0.1:7471"`).
+    /// Dialing is lazy — the first RPC connects; construction never
+    /// touches the network.
+    pub fn connect(addr: impl Into<String>, opts: RemoteOptions) -> Self {
+        RemoteNode {
+            addr: addr.into(),
+            opts,
+            conn: TrackedMutex::new(LockClass::NetConnection, None),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves the configured address (fresh each dial, so DNS changes
+    /// are picked up across reconnects).
+    fn resolve(&self) -> Result<SocketAddr, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        match self.addr.to_socket_addrs() {
+            Ok(mut addrs) => {
+                if let Some(addr) = addrs.next() {
+                    return Ok(addr);
+                }
+            }
+            Err(e) => last = Some(e),
+        }
+        Err(NetError::Io {
+            addr: self.addr.clone(),
+            source: last.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+            }),
+        })
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        let addr = self.resolve()?;
+        let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout)
+            .map_err(|e| NetError::Io { addr: self.addr.clone(), source: e })?;
+        let _ = stream.set_read_timeout(Some(self.opts.read_timeout));
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    /// One request/response exchange with transport-level retry: a socket
+    /// failure drops the connection and re-dials (up to `max_retries`
+    /// times); any decoded reply — including error replies — returns
+    /// without retrying.
+    fn rpc(&self, msg: &Message) -> Result<Message, NetError> {
+        let mut conn = self.conn.lock();
+        let mut attempt = 0u32;
+        loop {
+            if conn.is_none() {
+                match self.dial() {
+                    Ok(stream) => *conn = Some(stream),
+                    Err(e) => {
+                        if attempt >= self.opts.max_retries {
+                            return Err(e);
+                        }
+                        attempt += 1;
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            // The `is_none` arm above just filled the slot; this borrow
+            // cannot fail, but stay panic-free per the crate invariant.
+            let Some(stream) = conn.as_mut() else { continue };
+            let sent = write_message(stream, msg).and_then(|()| read_message(stream));
+            match sent {
+                Ok(reply) => return Ok(reply),
+                Err(WireError::Io(e)) => {
+                    *conn = None; // stream state is unknown; reconnect
+                    if attempt >= self.opts.max_retries {
+                        return Err(NetError::Io { addr: self.addr.clone(), source: e });
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                // A decode failure is not transient: the peer speaks a
+                // different protocol (or the stream is corrupt). Drop the
+                // connection and report.
+                Err(e) => {
+                    *conn = None;
+                    return Err(NetError::Wire(e));
+                }
+            }
+        }
+    }
+}
+
+impl Node for RemoteNode {
+    fn query(&self, req: &ServeRequest) -> Result<NodeAnswer, NetError> {
+        match self.rpc(&Message::Query(req.clone()))? {
+            Message::QueryOk(resp) => {
+                Ok(NodeAnswer { records: resp.records, stats: resp.stats, service: resp.service })
+            }
+            Message::QueryErr(e) => Err(NetError::Serve(e)),
+            other => {
+                Err(NetError::UnexpectedReply { expected: "query-ok", got: other.kind_name() })
+            }
+        }
+    }
+
+    fn stats(&self) -> Result<ServeStats, NetError> {
+        match self.rpc(&Message::StatsRequest)? {
+            Message::Stats(stats) => Ok(stats),
+            other => Err(NetError::UnexpectedReply { expected: "stats", got: other.kind_name() }),
+        }
+    }
+
+    fn shard_ranges(&self) -> Result<NodeRanges, NetError> {
+        match self.rpc(&Message::RangesRequest)? {
+            Message::Ranges(ranges) => Ok(ranges),
+            other => Err(NetError::UnexpectedReply { expected: "ranges", got: other.kind_name() }),
+        }
+    }
+
+    fn net_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn label(&self) -> String {
+        self.addr.clone()
+    }
+}

@@ -133,14 +133,16 @@ fn rules_for(rel: &Path) -> FileRules {
         // The worker pool owns every thread in the workspace. The linter
         // itself names the pattern in string literals.
         spawn: path != "crates/core/src/pool.rs" && !in_crate("xtask"),
-        unwrap_expect: in_crate("core") || in_crate("store"),
+        unwrap_expect: in_crate("core") || in_crate("store") || in_crate("net"),
         // Crates a query traverses; panics there would escape to callers
         // (the pool isolates job panics, but the invariant is no-panic).
+        // The net crate decodes hostile bytes, so it holds the same bar.
         panics: in_crate("temporal")
             || in_crate("geom")
             || in_crate("index")
             || in_crate("store")
-            || in_crate("core"),
+            || in_crate("core")
+            || in_crate("net"),
     }
 }
 

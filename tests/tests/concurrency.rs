@@ -16,7 +16,7 @@
 
 use durable_topk::check::{self, LockClass, TrackedMutex};
 use durable_topk::{
-    Algorithm, Backpressure, DurableQuery, ScorerSpec, ServeEngine, ServeRequest, ShardedEngine,
+    Algorithm, Backpressure, DurableQuery, EngineConfig, ScorerSpec, ServeEngine, ServeRequest,
     Window,
 };
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -90,7 +90,8 @@ fn seeded_yield_stress_completes_deadlock_free_without_fallbacks() {
 
     for seed in [0x9e37u64, 42, 7] {
         check::set_yield_seed(seed);
-        let mut engine = ShardedEngine::new_live(2, SPAN, MAX_TAU).with_result_cache(1 << 18);
+        let mut engine =
+            EngineConfig::new(2, SPAN, MAX_TAU).result_cache(1 << 18).build().expect("config");
         for i in 0..BASE {
             engine.append(&row(i));
         }

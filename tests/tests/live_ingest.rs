@@ -12,8 +12,8 @@
 //! process-wide spawn counter stays flat across arbitrarily many queries.
 
 use durable_topk::{
-    Algorithm, BatchExecutor, DurableQuery, DurableTopKEngine, LinearScorer, QueryContext,
-    ShardedEngine, TopKOracle, TopKResult, Window, WorkerPool,
+    Algorithm, BatchExecutor, DurableQuery, DurableTopKEngine, EngineConfig, LinearScorer,
+    QueryContext, ShardedEngine, TopKOracle, TopKResult, Window, WorkerPool,
 };
 use durable_topk_temporal::Dataset;
 use proptest::prelude::*;
@@ -133,7 +133,10 @@ proptest! {
         // sealed tails are all exercised mid-stream.
         let span = (n / 3).max(1);
         let scorer = LinearScorer::new(vec![0.55, 0.45]);
-        let mut live = ShardedEngine::new_live(2, span, max_tau).with_skyband_bound(k_max);
+        let mut live = EngineConfig::new(2, span, max_tau)
+            .skyband_bound(k_max)
+            .build()
+            .expect("live config");
         for id in 0..n {
             live.append(ds.row(id as u32));
             let upto = id as u32;

@@ -8,8 +8,8 @@
 //! identity (merge, storage migration) must never serve a stale entry.
 
 use durable_topk::{
-    Algorithm, Backpressure, DurableQuery, DurableTopKEngine, LinearScorer, PagedStorage, Scorer,
-    ScorerSpec, ServeEngine, ServeRequest, ShardedEngine, Window,
+    Algorithm, Backpressure, DurableQuery, DurableTopKEngine, EngineConfig, LinearScorer,
+    PagedStorage, Scorer, ScorerSpec, ServeEngine, ServeRequest, Window,
 };
 use durable_topk_index::{NodeSummary, OracleScorer};
 use durable_topk_temporal::Dataset;
@@ -77,11 +77,16 @@ proptest! {
         // without faulting spilled pages back in.
         let span = (n / 6).max(1);
         let scorer = LinearScorer::new(vec![0.6, 0.4]);
-        let mut plain = ShardedEngine::new_live(2, span, max_tau).with_skyband_bound(k_max);
-        let mut cached = ShardedEngine::new_live(2, span, max_tau)
-            .with_skyband_bound(k_max)
-            .with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("temp-file backend")))
-            .with_result_cache(1 << 20);
+        let mut plain = EngineConfig::new(2, span, max_tau)
+            .skyband_bound(k_max)
+            .build()
+            .expect("plain live config");
+        let mut cached = EngineConfig::new(2, span, max_tau)
+            .skyband_bound(k_max)
+            .storage(Arc::new(PagedStorage::with_temp_file(1).expect("temp-file backend")))
+            .result_cache(1 << 20)
+            .build()
+            .expect("cached live config");
 
         // Fixed k and τ so every prefix re-probes sealed shards with the
         // same cache key — sealed-tail answers repeat, guaranteeing hits.
@@ -135,7 +140,8 @@ proptest! {
 fn storage_migration_invalidates_without_changing_answers() {
     let ds = fixed_dataset(96);
     let scorer = LinearScorer::new(vec![0.7, 0.3]);
-    let mut engine = ShardedEngine::new_live(2, 16, 8).with_result_cache(1 << 20);
+    let mut engine =
+        EngineConfig::new(2, 16, 8).result_cache(1 << 20).build().expect("cached config");
     for id in 0..ds.len() as u32 {
         engine.append(ds.row(id));
     }
@@ -152,7 +158,8 @@ fn storage_migration_invalidates_without_changing_answers() {
     assert_eq!(warm.misses, populated.misses, "re-probe must not miss");
 
     // Migration re-chunks every sealed shard: same bytes, new identity.
-    let engine = engine.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("backend")));
+    let engine =
+        engine.migrate_storage(Arc::new(PagedStorage::with_temp_file(1).expect("backend")));
     let migrated = engine.query(Algorithm::THop, &scorer, &q);
     let after = engine.result_cache().expect("cache").stats();
     assert_eq!(migrated.records, first.records, "migration must not change the answer");
@@ -173,7 +180,8 @@ fn opaque_scorers_bypass_the_cache() {
     let opaque = OpaqueScorer(linear.clone());
     assert_eq!(opaque.fingerprint(), None);
 
-    let mut engine = ShardedEngine::new_live(2, 16, 8).with_result_cache(1 << 20);
+    let mut engine =
+        EngineConfig::new(2, 16, 8).result_cache(1 << 20).build().expect("cached config");
     for id in 0..ds.len() as u32 {
         engine.append(ds.row(id));
     }
@@ -198,8 +206,9 @@ fn byte_budget_evicts_under_pressure_without_losing_exactness() {
     let ds = fixed_dataset(128);
     let scorer = LinearScorer::new(vec![0.5, 0.5]);
     let budget = 8 * 1024;
-    let mut plain = ShardedEngine::new_live(2, 16, 12);
-    let mut tiny = ShardedEngine::new_live(2, 16, 12).with_result_cache(budget);
+    let mut plain = EngineConfig::new(2, 16, 12).build().expect("plain config");
+    let mut tiny =
+        EngineConfig::new(2, 16, 12).result_cache(budget).build().expect("tiny cache config");
     for id in 0..ds.len() as u32 {
         plain.append(ds.row(id));
         tiny.append(ds.row(id));
@@ -239,7 +248,7 @@ fn byte_budget_evicts_under_pressure_without_losing_exactness() {
 fn serve_stats_surface_cache_counters() {
     let ds = fixed_dataset(96);
     let mut engine =
-        ShardedEngine::try_new_live(2, 16, 8).expect("live engine").with_result_cache(1 << 20);
+        EngineConfig::new(2, 16, 8).result_cache(1 << 20).build().expect("live engine");
     for id in 0..ds.len() as u32 {
         engine.append(ds.row(id));
     }

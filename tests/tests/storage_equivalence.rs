@@ -9,7 +9,8 @@
 //! sealed chunk resident).
 
 use durable_topk::{
-    Algorithm, DurableQuery, DurableTopKEngine, LinearScorer, PagedStorage, ShardedEngine, Window,
+    Algorithm, DurableQuery, DurableTopKEngine, EngineConfig, LinearScorer, PagedStorage,
+    ShardedEngine, Window,
 };
 use durable_topk_temporal::Dataset;
 use proptest::prelude::*;
@@ -24,9 +25,11 @@ fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
 /// A live engine over the paged backend, spilling every sealed chunk but
 /// the newest.
 fn paged_live(span: usize, max_tau: u32, k_max: usize) -> ShardedEngine {
-    ShardedEngine::new_live(2, span, max_tau)
-        .with_skyband_bound(k_max)
-        .with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("temp-file backend")))
+    EngineConfig::new(2, span, max_tau)
+        .skyband_bound(k_max)
+        .storage(Arc::new(PagedStorage::with_temp_file(1).expect("temp-file backend")))
+        .build()
+        .expect("paged live config")
 }
 
 proptest! {
@@ -48,7 +51,10 @@ proptest! {
         // chunks well before ingestion ends.
         let span = (n / 6).max(1);
         let scorer = LinearScorer::new(vec![0.6, 0.4]);
-        let mut memory = ShardedEngine::new_live(2, span, max_tau).with_skyband_bound(k_max);
+        let mut memory = EngineConfig::new(2, span, max_tau)
+            .skyband_bound(k_max)
+            .build()
+            .expect("memory live config");
         let mut paged = paged_live(span, max_tau, k_max);
 
         for id in 0..n as u32 {
@@ -103,7 +109,7 @@ proptest! {
     }
 
     /// Migrating an already-grown engine onto the paged backend
-    /// (`with_storage` mid-life, as the CLI does) preserves every answer.
+    /// (`migrate_storage` mid-life) preserves every answer.
     #[test]
     fn migrating_a_grown_engine_preserves_answers(
         rows in rows_strategy(),
@@ -127,7 +133,7 @@ proptest! {
             Algorithm::ALL.iter().map(|&alg| live.query(alg, &scorer, &q).records).collect();
 
         let mut live =
-            live.with_storage(Arc::new(PagedStorage::with_temp_file(1).expect("backend")));
+            live.migrate_storage(Arc::new(PagedStorage::with_temp_file(1).expect("backend")));
         for (&alg, expected) in Algorithm::ALL.iter().zip(&before) {
             prop_assert_eq!(
                 &live.query(alg, &scorer, &q).records, expected,

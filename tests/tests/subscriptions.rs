@@ -10,8 +10,8 @@
 //! must be *observationally absent*: only its counters may show it ran.
 
 use durable_topk::{
-    Algorithm, Backpressure, DurableQuery, PagedStorage, ScorerSpec, ServeEngine, ServeRequest,
-    ShardedEngine, SubscriptionId, Window,
+    Algorithm, Backpressure, DurableQuery, EngineConfig, PagedStorage, ScorerSpec, ServeEngine,
+    ServeRequest, SubscriptionId, Window,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -117,9 +117,12 @@ proptest! {
     ) {
         let n = rows.len();
         let storage = PagedStorage::with_temp_file(1).expect("temp spill file");
-        let engine = ShardedEngine::new_live_with_leaf(2, SPAN, MAX_TAU, 8)
-            .with_skyband_bound(4)
-            .with_storage(Arc::new(storage));
+        let engine = EngineConfig::new(2, SPAN, MAX_TAU)
+            .leaf_size(8)
+            .skyband_bound(4)
+            .storage(Arc::new(storage))
+            .build()
+            .expect("live config");
         let serving = ServeEngine::new(engine, 16, Backpressure::Block);
 
         let mut registered: Vec<(SubscriptionId, ServeRequest)> = Vec::new();
